@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artefact of the paper's evaluation (a table,
+a figure or a claim) and prints the regenerated rows next to the published
+values, so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+reproduction report backing EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_report(title: str, lines) -> None:
+    """Uniform report block printed by each benchmark."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}")
+    for line in lines:
+        print(line)
+
+
+@pytest.fixture
+def report():
+    return print_report

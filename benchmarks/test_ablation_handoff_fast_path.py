@@ -1,0 +1,60 @@
+"""Ablation A5 — fast handoff via ListOfNeighborMembers.
+
+The paper motivates RGB with frequent handoffs between ever-smaller wireless
+cells and introduces ``ListOfNeighborMembers`` so a neighbouring access proxy
+already knows an arriving member.  This ablation runs handoff storms of
+varying locality and measures the fast-path hit ratio: with high locality the
+destination proxy almost always has the member in its neighbour list; with
+random movement it rarely does.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SimulationConfig
+from repro.core.simulation import RGBSimulation
+from repro.workloads.handoffs import HandoffStorm
+
+
+def run_storm(locality: float, handoffs: int = 60, seed: int = 13):
+    sim = RGBSimulation(
+        SimulationConfig(num_aps=25, ring_size=5, hosts_per_ap=0, seed=seed)
+    ).build()
+    aps = sim.access_proxies()
+    attachment = {}
+    for index in range(20):
+        ap = aps[(index * 2) % len(aps)]
+        member = sim.join_member(ap_id=ap, guid=f"mh-{index:03d}")
+        attachment[str(member.guid)] = ap
+    sim.run_until_quiescent()
+    neighbor_map = {ap: [str(n) for n in sim.ring_of(ap).members if str(n) != ap] for ap in aps}
+    storm = HandoffStorm(
+        attachment=attachment,
+        neighbor_map=neighbor_map,
+        handoffs=handoffs,
+        locality=locality,
+        seed=seed,
+    )
+    for event in storm.generate():
+        sim.handoff_member(event.member, event.to_ap)
+        sim.run_until_quiescent()
+    return sim.handoff_statistics(), len(sim.global_membership())
+
+
+def test_ablation_handoff_fast_path(benchmark, report):
+    def run_all():
+        return {locality: run_storm(locality) for locality in (0.9, 0.5, 0.1)}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [f"{'locality':>9} {'fast-path hit %':>16} {'intra-ring %':>13} {'roster size':>12}"]
+    for locality, (stats, roster) in results.items():
+        lines.append(
+            f"{locality:>9.1f} {100 * stats['fast_path_ratio']:>16.1f} "
+            f"{100 * stats['intra_ring_ratio']:>13.1f} {roster:>12}"
+        )
+    report("Ablation A5 — fast handoff hit ratio vs movement locality", lines)
+
+    # Membership stays intact regardless of movement pattern.
+    assert all(roster == 20 for _, roster in results.values())
+    # The neighbour-list fast path pays off exactly when movement is local.
+    assert results[0.9][0]["fast_path_ratio"] > results[0.1][0]["fast_path_ratio"]
+    assert results[0.9][0]["fast_path_ratio"] > 0.5

@@ -1,0 +1,55 @@
+"""Ablation A3 — ring size r: propagation cost vs reliability trade-off.
+
+For a (roughly) fixed number of access proxies, larger rings mean fewer tiers
+and fewer inter-ring messages but a higher chance that a single ring collects
+two simultaneous faults.  The paper's conclusion notes small rings keep
+propagation delay low; this ablation quantifies both sides.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reliability import hierarchy_function_well_probability
+from repro.analysis.scalability import hcn_ring, ring_access_proxy_count
+
+
+SWEEP = [
+    # (ring_size, height) chosen so n stays in the same order of magnitude.
+    (2, 7),   # n = 128
+    (4, 4),   # n = 256
+    (5, 3),   # n = 125
+    (11, 2),  # n = 121
+]
+FAULT_PROBABILITY = 0.005
+
+
+def sweep_rows():
+    rows = []
+    for ring_size, height in SWEEP:
+        rows.append(
+            {
+                "r": ring_size,
+                "h": height,
+                "n": ring_access_proxy_count(height, ring_size),
+                "hcn": hcn_ring(height, ring_size),
+                "fw": hierarchy_function_well_probability(height, ring_size, FAULT_PROBABILITY, 1),
+            }
+        )
+    return rows
+
+
+def test_ablation_ring_size_tradeoff(benchmark, report):
+    rows = benchmark(sweep_rows)
+    lines = [f"{'r':>4} {'h':>3} {'n':>5} {'HCN_Ring':>9} {'fw(%) @f=0.5%':>14}"]
+    for row in rows:
+        lines.append(
+            f"{row['r']:>4} {row['h']:>3} {row['n']:>5} {row['hcn']:>9} {100 * row['fw']:>14.3f}"
+        )
+    report("Ablation A3 — ring size sweep at comparable n", lines)
+
+    # Propagation cost per change grows as rings shrink (more rings to cover) ...
+    hcn_by_r = {row["r"]: row["hcn"] for row in rows}
+    assert hcn_by_r[2] > hcn_by_r[5] > hcn_by_r[11]
+    # ... while the smallest rings are also the most robust per-ring, so the
+    # Function-Well probability peaks at small r for the same fault rate.
+    fw_by_r = {row["r"]: row["fw"] for row in rows}
+    assert fw_by_r[2] > fw_by_r[11]

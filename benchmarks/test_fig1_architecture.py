@@ -1,0 +1,37 @@
+"""Figure 1 — the 4-tier integrated network architecture.
+
+Regenerates the figure's structural content: a topology with mobile hosts
+attached to wireless access proxies, proxies attached to access gateways in
+autonomous systems, and gateways attached to border routers, with the wireless
+access networks drawn from the three kinds the paper names.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import RandomStreams
+from repro.topology.architecture import AccessNetworkKind, TopologySpec
+from repro.topology.generator import TopologyGenerator
+from repro.topology.rendering import render_architecture, render_tier_counts
+
+
+def build_topology():
+    spec = TopologySpec(num_border_routers=3, ags_per_br=3, aps_per_ag=5, hosts_per_ap=4)
+    return TopologyGenerator(spec, RandomStreams(42)).generate()
+
+
+def test_fig1_architecture_generation(benchmark, report):
+    topology = benchmark(build_topology)
+    arch = topology.architecture
+    counts = arch.tier_counts()
+    assert counts["border_routers"] == 3
+    assert counts["access_gateways"] == 9
+    assert counts["access_proxies"] == 45
+    assert counts["mobile_hosts"] == 180
+    kinds = set(arch.ap_access_network.values())
+    assert kinds == set(AccessNetworkKind)
+    # Every entity is reachable over the generated links (one internetwork).
+    assert len(topology.network.connected_components()) == 1
+    report(
+        "Figure 1 — 4-tier integrated network architecture",
+        [render_tier_counts(arch), "", render_architecture(arch, max_children=2)],
+    )

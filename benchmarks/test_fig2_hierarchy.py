@@ -1,0 +1,48 @@
+"""Figure 2 — the ring-based hierarchy for group membership management.
+
+Builds the hierarchy over a generated 4-tier topology and checks the
+structural properties the figure depicts: one topmost border-router ring,
+one access-gateway ring per border router, one access-proxy ring per gateway,
+a leader per ring and a logical link from each leader to its parent node.
+"""
+
+from __future__ import annotations
+
+from repro.core.hierarchy import HierarchyBuilder
+from repro.sim.rng import RandomStreams
+from repro.topology.architecture import TopologySpec
+from repro.topology.generator import TopologyGenerator
+from repro.topology.rendering import render_hierarchy
+
+
+def build_hierarchy():
+    spec = TopologySpec(num_border_routers=3, ags_per_br=3, aps_per_ag=5, hosts_per_ap=0)
+    topology = TopologyGenerator(spec, RandomStreams(42)).generate()
+    return HierarchyBuilder("fig2-group").from_topology(topology), topology
+
+
+def test_fig2_hierarchy_construction(benchmark, report):
+    hierarchy, topology = benchmark(build_hierarchy)
+    hierarchy.validate()
+    arch = topology.architecture
+
+    assert hierarchy.tiers() == [1, 2, 3]
+    assert len(hierarchy.rings_in_tier(3)) == 1
+    assert len(hierarchy.rings_in_tier(2)) == len(arch.border_routers)
+    assert len(hierarchy.rings_in_tier(1)) == len(arch.access_gateways)
+    assert hierarchy.total_rings == 1 + 3 + 9
+    assert len(hierarchy.access_proxies()) == 45
+
+    for ring in hierarchy.rings.values():
+        assert ring.leader is not None
+        parent = hierarchy.parent_of_ring(ring.ring_id)
+        if ring.tier == 3:
+            assert parent is None
+        else:
+            assert parent is not None
+            assert hierarchy.ring_of(parent).tier == ring.tier + 1
+
+    report(
+        "Figure 2 — ring-based hierarchy (rings, leaders, logical links)",
+        [render_hierarchy(hierarchy, max_rings_per_tier=3)],
+    )

@@ -1,0 +1,83 @@
+"""Table II — Function-Well probability of the ring-based hierarchy.
+
+Regenerates every row of the paper's Table II from formulas (7)–(8), checks
+the abstract's headline claims, and validates the closed form against
+Monte-Carlo fault injection over a materialised hierarchy (down-scaled so the
+benchmark stays fast; the scaling does not change the comparison's shape).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.montecarlo import simulate_hierarchy_function_well
+from repro.analysis.reliability import (
+    TABLE2_PAPER_VALUES,
+    headline_claims,
+    hierarchy_function_well_probability,
+    table2_rows,
+)
+from repro.analysis.tables import render_table2
+
+
+def test_table2_closed_form(benchmark, report):
+    rows = benchmark(table2_rows)
+    paper = {(n, round(f, 3), k): value for n, f, k, value in TABLE2_PAPER_VALUES}
+    worst = 0.0
+    for row in rows:
+        key = (row.n, round(100.0 * row.fault_probability, 3), row.max_partitions)
+        delta = abs(row.function_well_percent - paper[key])
+        worst = max(worst, delta)
+        assert delta < 1.5, f"row {key}: computed {row.function_well_percent:.3f} vs paper {paper[key]}"
+    report(
+        "Table II — Function-Well probability (computed vs paper)",
+        [render_table2(rows), f"largest |computed - paper| = {worst:.3f} percentage points"],
+    )
+
+
+def test_headline_claims(benchmark, report):
+    claims = benchmark(headline_claims)
+    no_partition = 100.0 * claims["no_partition_probability"]
+    k3 = 100.0 * claims["at_most_3_partitions_probability"]
+    assert no_partition == pytest.approx(99.5, abs=0.05)
+    assert k3 > 99.99
+    report(
+        "Abstract claims (n=1000 APs, f=0.1%)",
+        [
+            f"no partition (k=1)         = {no_partition:.3f}%   (paper: 99.500%)",
+            f"at most 3 partitions (k=3) = {k3:.3f}%   (paper: 99.999%)",
+        ],
+    )
+
+
+@pytest.mark.parametrize("fault_probability,k", [(0.02, 1), (0.02, 3), (0.05, 1)])
+def test_table2_monte_carlo_validation(benchmark, report, fault_probability, k):
+    height, ring_size, trials = 2, 5, 600
+    analytical = hierarchy_function_well_probability(height, ring_size, fault_probability, k)
+
+    def run():
+        formula_view = simulate_hierarchy_function_well(
+            height, ring_size, fault_probability,
+            max_partitions=k, trials=trials, seed=17, analytical=analytical, criterion="rings",
+        )
+        systems_view = simulate_hierarchy_function_well(
+            height, ring_size, fault_probability,
+            max_partitions=k, trials=trials, seed=17, criterion="partitions",
+        )
+        return formula_view, systems_view
+
+    formula_view, systems_view = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Sampling the formula's own criterion reproduces the closed form...
+    assert formula_view.within(sigmas=5.0, floor=0.03)
+    # ...and the systems-level view (actual partitions after repair) is never
+    # worse than the conservative analytical bound.
+    assert systems_view.estimate >= analytical - 5.0 * systems_view.stderr
+    report(
+        f"Table II (Monte-Carlo validation) — h={height}, r={ring_size}, f={fault_probability:.0%}, k={k}",
+        [
+            f"analytical Function-Well (formula 8)     = {100 * analytical:.2f}%",
+            f"simulated, formula criterion             = {100 * formula_view.estimate:.2f}%  "
+            f"({trials} trials, ±{100 * formula_view.stderr:.2f}%)",
+            f"simulated, systems view (partition count) = {100 * systems_view.estimate:.2f}%",
+        ],
+    )

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Reliability study: Function-Well probability, analytics vs fault injection.
+
+Reproduces the reasoning behind Table II of the paper at laptop scale:
+
+1. evaluates the closed-form Function-Well probability of the ring-based
+   hierarchy (formulas 7 and 8) over a sweep of node fault probabilities,
+2. validates it with Monte-Carlo fault injection over a materialised
+   hierarchy (the same partition counting the protocol itself uses), and
+3. compares against the tree-based hierarchy with representatives — the
+   paper's qualitative claim that the ring hierarchy is the more reliable one.
+
+Run with::
+
+    python examples/reliability_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.montecarlo import (
+    simulate_hierarchy_function_well,
+    simulate_tree_function_well,
+)
+from repro.analysis.reliability import (
+    hierarchy_function_well_probability,
+    tree_function_well_probability,
+)
+
+
+def main() -> None:
+    height, ring_size = 3, 5  # n = 125 access proxies, the paper's left block
+    fault_probabilities = [0.001, 0.005, 0.02]
+    trials = 1500
+
+    print(f"Ring-based hierarchy, h={height}, r={ring_size} (n={ring_size**height} proxies)")
+    print(f"{'f (%)':>7} {'k':>3} {'analytical':>11} {'monte-carlo':>12} {'tree (analytical)':>18}")
+    for f in fault_probabilities:
+        for k in (1, 3):
+            analytical = hierarchy_function_well_probability(height, ring_size, f, k)
+            mc = simulate_hierarchy_function_well(
+                height, ring_size, f, max_partitions=k, trials=trials, seed=3,
+                analytical=analytical,
+            )
+            tree = tree_function_well_probability(height + 1, ring_size, f, k)
+            print(
+                f"{100 * f:>7.1f} {k:>3} {100 * analytical:>10.3f}% {100 * mc.estimate:>11.3f}% "
+                f"{100 * tree:>17.3f}%"
+            )
+
+    print("\nTree-based hierarchy with representatives (same n), Monte-Carlo check at f=2%:")
+    tree_mc = simulate_tree_function_well(
+        height=height + 1, branching=ring_size, fault_probability=0.02,
+        max_partitions=1, trials=trials, seed=3,
+    )
+    ring_mc = simulate_hierarchy_function_well(
+        height, ring_size, 0.02, max_partitions=1, trials=trials, seed=3,
+    )
+    print(f"  ring hierarchy Function-Well : {100 * ring_mc.estimate:6.2f}%")
+    print(f"  tree hierarchy Function-Well : {100 * tree_mc.estimate:6.2f}%")
+    print("\nThe ring hierarchy tolerates any single fault per ring, so it stays "
+          "Function-Well far more often than the representative tree — the paper's "
+          "Section 5.2 claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Tour of the 4-tier mobile Internet architecture and the ring hierarchy.
+
+Regenerates the structural content of the paper's Figure 1 (the 4-tier
+integrated network architecture) and Figure 2 (the ring-based hierarchy for
+group membership management) from the topology generator and the hierarchy
+builder, and prints the scalability picture for growing deployments.
+
+Run with::
+
+    python examples/topology_tour.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.scalability import hcn_ring, hcn_tree
+from repro.core.hierarchy import HierarchyBuilder
+from repro.sim.rng import RandomStreams
+from repro.topology.architecture import TopologySpec
+from repro.topology.generator import TopologyGenerator
+from repro.topology.rendering import render_architecture, render_hierarchy
+
+
+def main() -> None:
+    spec = TopologySpec(
+        num_border_routers=3,
+        ags_per_br=3,
+        aps_per_ag=4,
+        hosts_per_ap=3,
+    )
+    topology = TopologyGenerator(spec, RandomStreams(5)).generate()
+
+    print("=== Figure 1: the 4-tier integrated network architecture ===")
+    print(render_architecture(topology.architecture, max_children=3))
+    print()
+
+    hierarchy = HierarchyBuilder("tour-group").from_topology(topology)
+    print("=== Figure 2: the ring-based hierarchy over those entities ===")
+    print(render_hierarchy(hierarchy, max_rings_per_tier=4))
+    print()
+
+    print("=== How the hierarchy scales (normalised hop count per membership change) ===")
+    print(f"{'n (proxies)':>12} {'ring r':>7} {'HCN_Ring':>9} {'HCN_Tree':>9}")
+    for r, ring_h, tree_h in ((5, 2, 3), (5, 3, 4), (5, 4, 5), (10, 2, 3), (10, 3, 4)):
+        n = r**ring_h
+        print(f"{n:>12} {r:>7} {hcn_ring(ring_h, r):>9} {hcn_tree(tree_h, r):>9}")
+    print("\nThe ring hierarchy stays within ~25% of the tree hierarchy while "
+          "tolerating one fault per ring — the paper's scalability/reliability trade.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment this reproduction targets has no ``wheel`` package, so
+``pip install -e . --no-use-pep517 --no-build-isolation`` (which goes through
+``setup.py develop``) is the supported editable-install path.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,64 @@
+"""repro — reproduction of the RGB group membership protocol (ICPP 2004).
+
+The package is organised as:
+
+``repro.sim``
+    Discrete-event simulation substrate: event engine, virtual clock,
+    message transport with latency and loss, fault injection, mobility.
+``repro.topology``
+    The 4-tier integrated mobile Internet architecture of Section 3
+    (Mobile Hosts, Access Proxies, Access Gateways, Border Routers) and
+    generators / renderers for Figures 1 and 2.
+``repro.core``
+    The paper's primary contribution: the RGB ring-based hierarchy, the
+    One-Round Token Passing Membership algorithm, the Membership-Query
+    algorithm (TMS/BMS/IMS), handoff, failure detection and repair, and
+    the partition/merge extension.
+``repro.baselines``
+    Comparators: CONGRESS-style tree hierarchy (with and without
+    representatives), Moshe-style one-round tree membership, a flat
+    Totem-style token ring, and a SWIM-style gossip protocol.
+``repro.analysis``
+    Closed-form scalability (Table I) and reliability (Table II) models,
+    Monte-Carlo validation, and table regeneration.
+``repro.workloads``
+    Churn, handoff and query workload generators.
+
+Quickstart::
+
+    from repro import RGBSimulation, SimulationConfig
+
+    sim = RGBSimulation(SimulationConfig(num_aps=25, ring_size=5, seed=7))
+    sim.build()
+    member = sim.join_member(ap_index=0)
+    sim.run_until_quiescent()
+    assert member.guid in sim.global_membership()
+"""
+
+from repro.core.config import ProtocolConfig, SimulationConfig
+from repro.core.simulation import RGBSimulation
+from repro.core.membership import MembershipEvent, MembershipEventType, MembershipView
+from repro.analysis.scalability import hcn_ring, hcn_tree, table1_rows
+from repro.analysis.reliability import (
+    ring_function_well_probability,
+    hierarchy_function_well_probability,
+    table2_rows,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RGBSimulation",
+    "SimulationConfig",
+    "ProtocolConfig",
+    "MembershipEvent",
+    "MembershipEventType",
+    "MembershipView",
+    "hcn_ring",
+    "hcn_tree",
+    "table1_rows",
+    "ring_function_well_probability",
+    "hierarchy_function_well_probability",
+    "table2_rows",
+    "__version__",
+]

@@ -1,0 +1,58 @@
+"""Analytical models and experiment regeneration for the paper's evaluation.
+
+* :mod:`repro.analysis.scalability` — formulas (1)–(6): normalised hop counts
+  of the tree-based and ring-based hierarchies, and the rows of **Table I**.
+* :mod:`repro.analysis.reliability` — formulas (7)–(8): Function-Well
+  probability of a logical ring and of the whole hierarchy, and the rows of
+  **Table II**.
+* :mod:`repro.analysis.hopcount_sim` — measured hop counts from the
+  implemented protocol, validating that the closed forms describe the code.
+* :mod:`repro.analysis.montecarlo` — Monte-Carlo fault trials validating the
+  reliability model and comparing the ring hierarchy against the tree-based
+  baseline.
+* :mod:`repro.analysis.tables` — text renderings of Tables I and II plus the
+  ``rgb-tables`` console entry point.
+"""
+
+from repro.analysis.scalability import (
+    ScalabilityRow,
+    hcn_ring,
+    hcn_tree,
+    hcn_tree_without_representatives,
+    hopcount_ring,
+    hopcount_tree,
+    table1_rows,
+)
+from repro.analysis.reliability import (
+    ReliabilityRow,
+    hierarchy_function_well_probability,
+    ring_function_well_probability,
+    table2_rows,
+    tree_function_well_probability,
+)
+from repro.analysis.hopcount_sim import measure_ring_hopcount, HopCountMeasurement
+from repro.analysis.montecarlo import (
+    MonteCarloResult,
+    simulate_hierarchy_function_well,
+    simulate_tree_function_well,
+)
+
+__all__ = [
+    "ScalabilityRow",
+    "hcn_ring",
+    "hcn_tree",
+    "hcn_tree_without_representatives",
+    "hopcount_ring",
+    "hopcount_tree",
+    "table1_rows",
+    "ReliabilityRow",
+    "hierarchy_function_well_probability",
+    "ring_function_well_probability",
+    "tree_function_well_probability",
+    "table2_rows",
+    "measure_ring_hopcount",
+    "HopCountMeasurement",
+    "MonteCarloResult",
+    "simulate_hierarchy_function_well",
+    "simulate_tree_function_well",
+]

@@ -1,0 +1,150 @@
+"""Monte-Carlo validation of the reliability model.
+
+The closed forms of :mod:`repro.analysis.reliability` assume the structural
+fault model of Section 5.2.  The Monte-Carlo drivers here sample that fault
+model directly over materialised hierarchies and count partitions with the
+same machinery the protocol uses (:mod:`repro.core.partition`), so they
+validate both the formulas and the partition-detection implementation:
+
+* :func:`simulate_hierarchy_function_well` — the ring-based hierarchy.
+* :func:`simulate_tree_function_well` — the CONGRESS-style tree-based
+  hierarchy *with representatives* (the baseline of the paper's qualitative
+  reliability comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.tree_hierarchy import TreeHierarchy
+from repro.core.hierarchy import HierarchyBuilder
+from repro.core.partition import detect_partitions
+from repro.sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Outcome of a Monte-Carlo Function-Well estimation."""
+
+    trials: int
+    successes: int
+    fault_probability: float
+    max_partitions: int
+    analytical: Optional[float] = None
+
+    @property
+    def estimate(self) -> float:
+        return self.successes / self.trials if self.trials else float("nan")
+
+    @property
+    def stderr(self) -> float:
+        """Binomial standard error of the estimate."""
+        p = self.estimate
+        return float(np.sqrt(max(p * (1.0 - p), 1e-12) / self.trials)) if self.trials else float("nan")
+
+    def within(self, sigmas: float = 4.0, floor: float = 0.005) -> bool:
+        """True when the estimate is within ``sigmas`` standard errors of the
+        analytical value (with an absolute floor for near-degenerate cases)."""
+        if self.analytical is None:
+            return True
+        tolerance = max(sigmas * self.stderr, floor)
+        return abs(self.estimate - self.analytical) <= tolerance
+
+
+def simulate_hierarchy_function_well(
+    height: int,
+    ring_size: int,
+    fault_probability: float,
+    max_partitions: int = 1,
+    trials: int = 2000,
+    seed: int = 0,
+    analytical: Optional[float] = None,
+    criterion: str = "partitions",
+) -> MonteCarloResult:
+    """Estimate the ring hierarchy's Function-Well probability by simulation.
+
+    Each trial faults every network entity of a regular ``(height, ring_size)``
+    hierarchy independently with probability ``fault_probability``.
+
+    ``criterion`` selects what a successful trial means:
+
+    * ``"partitions"`` (default) — the systems view: the hierarchy splits into
+      at most ``max_partitions`` partitions according to
+      :func:`repro.core.partition.detect_partitions` (adjacent faults that do
+      not actually split a ring count as one partition).
+    * ``"rings"`` — the paper's analytical criterion behind formula (8): at
+      most ``max_partitions - 1`` rings have two or more faulty members.
+      This is slightly conservative compared with ``"partitions"``, so the
+      measured systems-level probability is never lower than the formula.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if criterion not in ("partitions", "rings"):
+        raise ValueError(f"criterion must be 'partitions' or 'rings', got {criterion!r}")
+    hierarchy = HierarchyBuilder("mc-group").regular(ring_size=ring_size, height=height)
+    nodes = list(hierarchy.ring_of_node.keys())
+    rng = RandomStreams(seed).stream("montecarlo-ring")
+    successes = 0
+    for _ in range(trials):
+        draws = rng.random(len(nodes))
+        failed = {node for node, draw in zip(nodes, draws) if draw < fault_probability}
+        if criterion == "rings":
+            bad_rings = sum(
+                1
+                for ring in hierarchy.rings.values()
+                if sum(1 for member in ring.members if member in failed) >= 2
+            )
+            if bad_rings <= max_partitions - 1:
+                successes += 1
+            continue
+        operational = [node for node in nodes if node not in failed]
+        report = detect_partitions(hierarchy, operational)
+        if 1 <= report.count <= max_partitions:
+            successes += 1
+    return MonteCarloResult(
+        trials=trials,
+        successes=successes,
+        fault_probability=fault_probability,
+        max_partitions=max_partitions,
+        analytical=analytical,
+    )
+
+
+def simulate_tree_function_well(
+    height: int,
+    branching: int,
+    fault_probability: float,
+    max_partitions: int = 1,
+    trials: int = 2000,
+    seed: int = 0,
+    analytical: Optional[float] = None,
+) -> MonteCarloResult:
+    """Estimate the tree-with-representatives Function-Well probability.
+
+    Each trial faults every *physical server* independently; because interior
+    levels are played by representative servers, one physical fault can remove
+    several logical nodes.  The trial succeeds when the surviving logical tree
+    splits into at most ``max_partitions`` connected components.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    tree = TreeHierarchy.regular(height=height, branching=branching, with_representatives=True)
+    servers = tree.physical_servers()
+    rng = RandomStreams(seed).stream("montecarlo-tree")
+    successes = 0
+    for _ in range(trials):
+        draws = rng.random(len(servers))
+        failed = {server for server, draw in zip(servers, draws) if draw < fault_probability}
+        components = tree.partition_count(failed)
+        if 1 <= components <= max_partitions:
+            successes += 1
+    return MonteCarloResult(
+        trials=trials,
+        successes=successes,
+        fault_probability=fault_probability,
+        max_partitions=max_partitions,
+        analytical=analytical,
+    )

@@ -1,0 +1,120 @@
+"""Text regeneration of the paper's tables (and the ``rgb-tables`` CLI).
+
+``python -m repro.analysis.tables table1`` prints Table I, ``table2`` prints
+Table II, ``claims`` prints the abstract's headline numbers, and ``all``
+prints everything.  The same render functions are used by the benchmark
+harness and by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.reliability import (
+    TABLE2_PAPER_VALUES,
+    ReliabilityRow,
+    headline_claims,
+    table2_rows,
+)
+from repro.analysis.scalability import (
+    TABLE1_PAPER_VALUES,
+    ScalabilityRow,
+    table1_rows,
+)
+
+
+def _paper_hcn(n: int) -> Dict[str, int]:
+    for paper_n, tree, ring in TABLE1_PAPER_VALUES:
+        if paper_n == n:
+            return {"tree": tree, "ring": ring}
+    raise KeyError(f"no paper value for n={n}")
+
+
+def _paper_fw(n: int, f_percent: float, k: int) -> Optional[float]:
+    for paper_n, paper_f, paper_k, value in TABLE2_PAPER_VALUES:
+        if paper_n == n and abs(paper_f - f_percent) < 1e-9 and paper_k == k:
+            return value
+    return None
+
+
+def render_table1(rows: Optional[Sequence[ScalabilityRow]] = None) -> str:
+    """Table I: scalability comparison between the tree and ring hierarchies."""
+    rows = list(rows) if rows is not None else table1_rows()
+    lines = [
+        "Table I. Comparison on Scalability between the Tree-based and the Ring-based Hierarchy",
+        f"{'n':>7} {'h_tree':>6} {'r':>4} {'HCN_Tree':>9} {'paper':>7} | "
+        f"{'h_ring':>6} {'HCN_Ring':>9} {'paper':>7} {'ring/tree':>9}",
+    ]
+    for row in rows:
+        try:
+            paper = _paper_hcn(row.n)
+        except KeyError:
+            paper = {"tree": -1, "ring": -1}
+        lines.append(
+            f"{row.n:>7} {row.tree_height:>6} {row.tree_branching:>4} "
+            f"{row.hcn_tree:>9} {paper['tree']:>7} | "
+            f"{row.ring_height:>6} {row.hcn_ring:>9} {paper['ring']:>7} "
+            f"{row.ring_to_tree_ratio:>9.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_table2(rows: Optional[Sequence[ReliabilityRow]] = None) -> str:
+    """Table II: Function-Well probability of the ring-based hierarchy."""
+    rows = list(rows) if rows is not None else table2_rows()
+    lines = [
+        "Table II. Function-Well Probability of the Ring-based Hierarchy",
+        f"{'n':>6} {'h':>3} {'r':>4} {'f(%)':>6} {'k':>3} {'fw(%) computed':>15} {'fw(%) paper':>12}",
+    ]
+    for row in rows:
+        f_percent = 100.0 * row.fault_probability
+        paper = _paper_fw(row.n, f_percent, row.max_partitions)
+        paper_text = f"{paper:12.3f}" if paper is not None else " " * 12
+        lines.append(
+            f"{row.n:>6} {row.height:>3} {row.ring_size:>4} {f_percent:>6.1f} "
+            f"{row.max_partitions:>3} {row.function_well_percent:>15.3f} {paper_text}"
+        )
+    return "\n".join(lines)
+
+
+def render_claims() -> str:
+    """The two abstract claims: 99.500% (k=1) and 99.999% (k=3) at n=1000, f=0.1%."""
+    claims = headline_claims()
+    return "\n".join(
+        [
+            "Headline claims (n=1000 access proxies, node fault probability 0.1%)",
+            f"  no partition (k=1)        : {100 * claims['no_partition_probability']:.3f}%  (paper: 99.500%)",
+            f"  at most 3 partitions (k=3): {100 * claims['at_most_3_partitions_probability']:.3f}%  (paper: 99.999%)",
+        ]
+    )
+
+
+def render_all() -> str:
+    return "\n\n".join([render_table1(), render_table2(), render_claims()])
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console entry point: ``rgb-tables [table1|table2|claims|all]``."""
+    parser = argparse.ArgumentParser(description="Regenerate the RGB paper's tables")
+    parser.add_argument(
+        "table",
+        choices=["table1", "table2", "claims", "all"],
+        nargs="?",
+        default="all",
+        help="which artefact to print",
+    )
+    args = parser.parse_args(argv)
+    renderers = {
+        "table1": render_table1,
+        "table2": render_table2,
+        "claims": render_claims,
+        "all": render_all,
+    }
+    print(renderers[args.table]())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Baseline membership schemes the paper compares against (or that supersede it).
+
+* :mod:`repro.baselines.tree_hierarchy` — the CONGRESS-style tree-based
+  hierarchy of membership servers, with and without representatives
+  (Section 2 related work and the Section 5 comparison target).
+* :mod:`repro.baselines.tree_membership` — the Moshe/Keidar-style one-round
+  proposal algorithm running over the tree hierarchy; used to measure tree
+  hop counts the same way the ring hop counts are measured.
+* :mod:`repro.baselines.flat_ring` — a single flat token ring over all
+  access proxies (Totem / Cristian-Schmuck style), the non-hierarchical
+  comparator that motivates the hierarchy.
+* :mod:`repro.baselines.gossip` — a SWIM-style gossip membership protocol,
+  the modern comparator used in the ablation benchmarks.
+"""
+
+from repro.baselines.tree_hierarchy import TreeHierarchy, TreeNode
+from repro.baselines.tree_membership import TreeMembershipProtocol, TreePropagationReport
+from repro.baselines.flat_ring import FlatRingMembership, FlatRingReport
+from repro.baselines.gossip import GossipMembership, GossipReport
+
+__all__ = [
+    "TreeHierarchy",
+    "TreeNode",
+    "TreeMembershipProtocol",
+    "TreePropagationReport",
+    "FlatRingMembership",
+    "FlatRingReport",
+    "GossipMembership",
+    "GossipReport",
+]

@@ -1,0 +1,117 @@
+"""Flat single-ring token membership (Totem / Cristian-Schmuck style baseline).
+
+Section 2 of the paper reviews one-round algorithms where "all the group
+members form one logical ring and a token is used to reach agreement", and
+notes they are "inefficient in case of large group" — which is the motivation
+for the hierarchy.  This baseline implements exactly that flat scheme over the
+access proxies so the ablation benchmark can show the crossover: for small
+``n`` a flat ring is cheaper (no inter-ring notifications), but its per-change
+hop count grows linearly with ``n`` while RGB's grows with the much smaller
+``(r+1)·tn − 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+
+@dataclass
+class FlatRingReport:
+    """Hop accounting for one membership change on the flat ring."""
+
+    origin: str
+    hops: int
+    members_reached: int
+    repaired: List[str] = field(default_factory=list)
+
+
+class FlatRingMembership:
+    """All access proxies in one token ring; one full revolution per change."""
+
+    def __init__(self, proxies: Sequence[str]) -> None:
+        if not proxies:
+            raise ValueError("flat ring needs at least one access proxy")
+        if len(set(proxies)) != len(proxies):
+            raise ValueError("duplicate access proxies in flat ring")
+        self.ring: List[str] = list(proxies)
+        self.views: Dict[str, Set[str]] = {p: set() for p in proxies}
+        self._failed: Set[str] = set()
+        self.reports: List[FlatRingReport] = []
+        self.total_retransmissions = 0
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+
+    def fail_proxy(self, proxy: str) -> None:
+        if proxy not in self.views:
+            raise KeyError(f"unknown access proxy {proxy!r}")
+        self._failed.add(proxy)
+
+    def operational(self) -> List[str]:
+        return [p for p in self.ring if p not in self._failed]
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+
+    def propagate_change(self, origin: str, member: str, join: bool = True) -> FlatRingReport:
+        """Circulate the change once around the ring starting at ``origin``."""
+        if origin not in self.views:
+            raise KeyError(f"unknown access proxy {origin!r}")
+        if origin in self._failed:
+            raise ValueError(f"origin {origin!r} has failed")
+        start = self.ring.index(origin)
+        order = self.ring[start:] + self.ring[:start]
+        hops = 0
+        reached = 0
+        repaired: List[str] = []
+        for position, proxy in enumerate(order):
+            if position > 0:
+                hops += 1
+            if proxy in self._failed:
+                # Token retransmission detects the fault; the node is excluded.
+                self.total_retransmissions += 1
+                repaired.append(proxy)
+                continue
+            if join:
+                self.views[proxy].add(member)
+            else:
+                self.views[proxy].discard(member)
+            reached += 1
+        # Closing hop back to the origin completes the revolution.
+        if reached > 1:
+            hops += 1
+        for proxy in repaired:
+            self.ring.remove(proxy)
+            del self.views[proxy]
+            self._failed.discard(proxy)
+        report = FlatRingReport(origin=origin, hops=hops, members_reached=reached, repaired=repaired)
+        self.reports.append(report)
+        return report
+
+    def join(self, origin: str, member: str) -> FlatRingReport:
+        return self.propagate_change(origin, member, join=True)
+
+    def leave(self, origin: str, member: str) -> FlatRingReport:
+        return self.propagate_change(origin, member, join=False)
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    def membership_at(self, proxy: str) -> Set[str]:
+        return set(self.views[proxy])
+
+    def global_agreement(self) -> bool:
+        views = [frozenset(self.views[p]) for p in self.operational()]
+        return len(set(views)) <= 1
+
+    def average_hops(self) -> float:
+        if not self.reports:
+            return 0.0
+        return sum(r.hops for r in self.reports) / len(self.reports)
+
+    def ring_size(self) -> int:
+        return len(self.ring)

@@ -1,0 +1,150 @@
+"""SWIM-style gossip membership (modern comparator, used in ablations).
+
+RGB predates the gossip/SWIM family that later displaced ring- and tree-based
+membership services.  To put the reproduction's numbers in context, this
+baseline implements a round-based anti-entropy gossip protocol over the same
+access-proxy population:
+
+* every round, each operational proxy picks ``fanout`` random peers and sends
+  them its full membership digest (a push round);
+* a membership change therefore reaches the whole group in roughly
+  ``log_fanout(n)`` rounds with ``n * fanout`` messages per round;
+* failures are detected probabilistically by missed acknowledgements (modelled
+  here as the faulty proxy simply never responding or gossiping).
+
+The ablation benchmark compares convergence rounds and message counts against
+RGB's deterministic one-round-per-ring propagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.sim.rng import RandomStreams
+
+
+@dataclass
+class GossipReport:
+    """Outcome of propagating one change until the group converges."""
+
+    member: str
+    rounds: int
+    messages: int
+    converged: bool
+    infected_per_round: List[int] = field(default_factory=list)
+
+
+class GossipMembership:
+    """Push-gossip membership over a set of access proxies."""
+
+    def __init__(
+        self,
+        proxies: Sequence[str],
+        fanout: int = 2,
+        seed: int = 0,
+        max_rounds: int = 200,
+    ) -> None:
+        if not proxies:
+            raise ValueError("gossip needs at least one access proxy")
+        if fanout < 1:
+            raise ValueError(f"fanout must be >= 1, got {fanout}")
+        self.proxies = list(proxies)
+        self.fanout = fanout
+        self.max_rounds = max_rounds
+        self.views: Dict[str, Set[str]] = {p: set() for p in self.proxies}
+        self._failed: Set[str] = set()
+        self._rng = RandomStreams(seed).stream("gossip")
+        self.reports: List[GossipReport] = []
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+
+    def fail_proxy(self, proxy: str) -> None:
+        if proxy not in self.views:
+            raise KeyError(f"unknown access proxy {proxy!r}")
+        self._failed.add(proxy)
+
+    def operational(self) -> List[str]:
+        return [p for p in self.proxies if p not in self._failed]
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+
+    def propagate_change(self, origin: str, member: str, join: bool = True) -> GossipReport:
+        """Gossip one change from ``origin`` until every operational proxy has it."""
+        if origin not in self.views:
+            raise KeyError(f"unknown access proxy {origin!r}")
+        if origin in self._failed:
+            raise ValueError(f"origin {origin!r} has failed")
+        operational = self.operational()
+        infected: Set[str] = {origin}
+        self._apply(origin, member, join)
+        messages = 0
+        rounds = 0
+        infected_per_round: List[int] = [1]
+
+        while rounds < self.max_rounds and len(infected) < len(operational):
+            rounds += 1
+            newly_infected: Set[str] = set()
+            for proxy in sorted(infected):
+                peers = [p for p in operational if p != proxy]
+                if not peers:
+                    continue
+                k = min(self.fanout, len(peers))
+                chosen = self._rng.choice(len(peers), size=k, replace=False)
+                for idx in chosen:
+                    peer = peers[int(idx)]
+                    messages += 1
+                    if peer not in infected:
+                        newly_infected.add(peer)
+                        self._apply(peer, member, join)
+            infected |= newly_infected
+            infected_per_round.append(len(infected))
+
+        report = GossipReport(
+            member=member,
+            rounds=rounds,
+            messages=messages,
+            converged=len(infected) >= len(operational),
+            infected_per_round=infected_per_round,
+        )
+        self.reports.append(report)
+        return report
+
+    def _apply(self, proxy: str, member: str, join: bool) -> None:
+        if join:
+            self.views[proxy].add(member)
+        else:
+            self.views[proxy].discard(member)
+
+    def join(self, origin: str, member: str) -> GossipReport:
+        return self.propagate_change(origin, member, join=True)
+
+    def leave(self, origin: str, member: str) -> GossipReport:
+        return self.propagate_change(origin, member, join=False)
+
+    # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+
+    def membership_at(self, proxy: str) -> Set[str]:
+        return set(self.views[proxy])
+
+    def global_agreement(self) -> bool:
+        views = [frozenset(self.views[p]) for p in self.operational()]
+        return len(set(views)) <= 1
+
+    def average_messages(self) -> float:
+        if not self.reports:
+            return 0.0
+        return sum(r.messages for r in self.reports) / len(self.reports)
+
+    def average_rounds(self) -> float:
+        if not self.reports:
+            return 0.0
+        return sum(r.rounds for r in self.reports) / len(self.reports)

@@ -1,0 +1,161 @@
+"""One-round membership propagation over the tree-based hierarchy.
+
+This is the Moshe/Keidar-style baseline the paper's Section 5.1 measures: a
+membership change captured at a leaf server (LMS) is sent up the tree to the
+root and disseminated down to every server, so that after one round every
+server agrees on the new membership.  The hop count of that dissemination —
+one message per logical tree edge, minus the transfers that are free because
+both endpoints are played by the same physical representative server — is the
+quantity formulas (1)–(4) model.
+
+The measured count with the left-most-descendant representative assignment is
+slightly *smaller* than the paper's formula (4): the paper only credits the
+representative chains rooted at each interior node once, whereas a real
+deployment saves every same-server edge.  The benchmark reports both numbers;
+the comparison shape (tree ≲ ring, within ~25%) is unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.baselines.tree_hierarchy import TreeHierarchy, TreeNode
+
+
+@dataclass
+class TreePropagationReport:
+    """Hop accounting for one membership change propagated over the tree."""
+
+    origin_leaf: str
+    logical_hops: int
+    physical_hops: int
+    servers_reached: int
+
+    @property
+    def representative_savings(self) -> int:
+        return self.logical_hops - self.physical_hops
+
+
+class TreeMembershipProtocol:
+    """Membership maintenance over a :class:`TreeHierarchy`.
+
+    Every physical server keeps a set of member identifiers; a change is
+    propagated with the one-round scheme (up to the root, down to every leaf)
+    and the per-change hop counts are recorded.
+    """
+
+    def __init__(self, tree: TreeHierarchy) -> None:
+        self.tree = tree
+        self.views: Dict[str, Set[str]] = {server: set() for server in tree.physical_servers()}
+        self.reports: List[TreePropagationReport] = []
+        self._failed_servers: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+
+    def fail_server(self, server: str) -> None:
+        if server not in self.views:
+            raise KeyError(f"unknown server {server!r}")
+        self._failed_servers.add(server)
+
+    def operational_servers(self) -> List[str]:
+        return [s for s in self.views if s not in self._failed_servers]
+
+    # ------------------------------------------------------------------
+    # propagation
+    # ------------------------------------------------------------------
+
+    def _apply(self, server: str, member: str, join: bool) -> None:
+        if server in self._failed_servers:
+            return
+        if join:
+            self.views[server].add(member)
+        else:
+            self.views[server].discard(member)
+
+    def propagate_change(self, leaf_id: str, member: str, join: bool = True) -> TreePropagationReport:
+        """Propagate one membership change from ``leaf_id`` to every server.
+
+        The proposal travels up the tree to the root and is then disseminated
+        down every branch that did not already see it, so each logical tree
+        edge is crossed exactly once and the logical hop count per change
+        equals the tree's edge count — the quantity formula (1) models.
+        Edges whose endpoints are played by the same physical server cost no
+        physical hop, which is the representative effect of formulas (2)–(4).
+        """
+        node = self.tree.nodes.get(leaf_id)
+        if node is None or not node.is_leaf:
+            raise KeyError(f"{leaf_id!r} is not a leaf of the tree")
+        logical_hops = 0
+        physical_hops = 0
+        reached: Set[str] = set()
+
+        self._apply(node.server, member, join)
+        reached.add(node.server)
+
+        # Up the tree: leaf -> ... -> root.
+        upward_edges: Set[tuple] = set()
+        current = node
+        while current.parent is not None:
+            parent = self.tree.nodes[current.parent]
+            upward_edges.add((parent.node_id, current.node_id))
+            logical_hops += 1
+            if parent.server != current.server:
+                physical_hops += 1
+            self._apply(parent.server, member, join)
+            reached.add(parent.server)
+            current = parent
+
+        # Down the tree from the root over every edge not already walked upward.
+        stack = [self.tree.root]
+        while stack:
+            tree_node = stack.pop()
+            for child_id in tree_node.children:
+                child = self.tree.nodes[child_id]
+                stack.append(child)
+                if (tree_node.node_id, child_id) in upward_edges:
+                    continue
+                logical_hops += 1
+                if child.server != tree_node.server:
+                    physical_hops += 1
+                self._apply(child.server, member, join)
+                reached.add(child.server)
+
+        report = TreePropagationReport(
+            origin_leaf=leaf_id,
+            logical_hops=logical_hops,
+            physical_hops=physical_hops,
+            servers_reached=len(reached),
+        )
+        self.reports.append(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # convenience
+    # ------------------------------------------------------------------
+
+    def join(self, leaf_id: str, member: str) -> TreePropagationReport:
+        return self.propagate_change(leaf_id, member, join=True)
+
+    def leave(self, leaf_id: str, member: str) -> TreePropagationReport:
+        return self.propagate_change(leaf_id, member, join=False)
+
+    def membership_at(self, server: str) -> Set[str]:
+        return set(self.views[server])
+
+    def global_agreement(self) -> bool:
+        """All operational servers hold identical views."""
+        views = [frozenset(self.views[s]) for s in self.operational_servers()]
+        return len(set(views)) <= 1
+
+    def average_logical_hops(self) -> float:
+        if not self.reports:
+            return 0.0
+        return sum(r.logical_hops for r in self.reports) / len(self.reports)
+
+    def average_physical_hops(self) -> float:
+        if not self.reports:
+            return 0.0
+        return sum(r.physical_hops for r in self.reports) / len(self.reports)

@@ -1,0 +1,165 @@
+"""Network entity data structures (paper Section 4.2).
+
+A network entity (NE) is an access proxy, access gateway or border router
+configured to run the protocol.  Each NE maintains only *local* information:
+its own identity, the identities of its leader, previous and next neighbours
+in its logical ring, its parent node (the entity in the next tier up whose
+ring its leader reports to) and child node(s), the ring/parent/child health
+flags, three member lists with different scopes and an aggregating message
+queue.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.identifiers import GroupId, NodeId
+from repro.core.member import MemberInfo
+from repro.core.membership import MembershipView
+from repro.core.message_queue import MessageQueue
+
+
+class EntityRole(enum.Enum):
+    """Which tier of Figure 2 an entity belongs to."""
+
+    ACCESS_PROXY = "AP"
+    ACCESS_GATEWAY = "AG"
+    BORDER_ROUTER = "BR"
+
+    @property
+    def tier(self) -> int:
+        """Tier index used by the hierarchy (AP=1, AG=2, BR=3)."""
+        return {"AP": 1, "AG": 2, "BR": 3}[self.value]
+
+    @classmethod
+    def from_kind(cls, kind: str) -> "EntityRole":
+        """Map a topology node kind string to a role."""
+        for role in cls:
+            if role.value == kind:
+                return role
+        raise ValueError(f"unknown network entity kind {kind!r}")
+
+
+@dataclass
+class NetworkEntityState:
+    """The complete local state of one network entity.
+
+    Mirrors the paper's NE data structure field for field:
+
+    ``group``      → GID
+    ``current``    → Current (this entity's own NodeID)
+    ``leader``     → Leader
+    ``previous`` / ``next_node`` → Previous / Next
+    ``parent`` / ``child``       → Parent / Child
+    ``ring_ok`` / ``parent_ok`` / ``child_ok`` → RingOK / ParentOK / ChildOK
+    ``local_members``    → ListOfLocalMembers
+    ``ring_members``     → ListOfRingMembers
+    ``neighbor_members`` → ListOfNeighborMembers
+    ``mq``               → MQ
+    """
+
+    current: NodeId
+    role: EntityRole
+    group: GroupId
+    ring_id: str = ""
+    leader: Optional[NodeId] = None
+    previous: Optional[NodeId] = None
+    next_node: Optional[NodeId] = None
+    parent: Optional[NodeId] = None
+    children: List[NodeId] = field(default_factory=list)
+    ring_ok: bool = False
+    parent_ok: bool = False
+    child_ok: bool = False
+    local_members: MembershipView = field(init=False)
+    ring_members: MembershipView = field(init=False)
+    neighbor_members: MembershipView = field(init=False)
+    mq: MessageQueue = field(init=False)
+    aggregate_mq: bool = True
+
+    def __post_init__(self) -> None:
+        self.local_members = MembershipView("local", self.current, self.group)
+        self.ring_members = MembershipView("ring", self.current, self.group)
+        self.neighbor_members = MembershipView("neighbor", self.current, self.group)
+        self.mq = MessageQueue(self.current, aggregate=self.aggregate_mq)
+
+    # -- ring role ----------------------------------------------------------------
+
+    @property
+    def is_leader(self) -> bool:
+        """True when this entity is the leader of its logical ring."""
+        return self.leader is not None and self.leader == self.current
+
+    @property
+    def child(self) -> Optional[NodeId]:
+        """First child, mirroring the paper's singular ``Child`` field.
+
+        The hierarchy allows an entity to bridge several child rings; the
+        paper's data structure names a single ``Child`` and its pseudocode
+        sends Notification-to-Child to it.  The protocol engine iterates
+        :attr:`children`; this property exists for parity with the paper.
+        """
+        return self.children[0] if self.children else None
+
+    def set_ring_pointers(
+        self,
+        ring_id: str,
+        leader: NodeId,
+        previous: NodeId,
+        next_node: NodeId,
+    ) -> None:
+        """Install the local ring view (called by the hierarchy builder)."""
+        self.ring_id = ring_id
+        self.leader = leader
+        self.previous = previous
+        self.next_node = next_node
+        self.ring_ok = True
+
+    def set_parent(self, parent: Optional[NodeId]) -> None:
+        self.parent = parent
+        self.parent_ok = parent is not None
+
+    def add_child(self, child: NodeId) -> None:
+        if child not in self.children:
+            self.children.append(child)
+        self.child_ok = True
+
+    def remove_child(self, child: NodeId) -> None:
+        if child in self.children:
+            self.children.remove(child)
+        self.child_ok = bool(self.children)
+
+    # -- member bookkeeping ----------------------------------------------------------
+
+    def register_local_member(self, member: MemberInfo) -> bool:
+        """Record a member attached directly to this entity (APs only)."""
+        changed = self.local_members.add(member)
+        if changed:
+            self.ring_members.add(member)
+        return changed
+
+    def unregister_local_member(self, guid: str) -> bool:
+        changed = self.local_members.remove(guid)
+        self.ring_members.remove(guid)
+        return changed
+
+    def summary(self) -> Dict[str, object]:
+        """Diagnostic snapshot used by tests and the examples."""
+        return {
+            "current": str(self.current),
+            "role": self.role.value,
+            "ring_id": self.ring_id,
+            "leader": str(self.leader) if self.leader else None,
+            "previous": str(self.previous) if self.previous else None,
+            "next": str(self.next_node) if self.next_node else None,
+            "parent": str(self.parent) if self.parent else None,
+            "children": [str(c) for c in self.children],
+            "ring_ok": self.ring_ok,
+            "parent_ok": self.parent_ok,
+            "child_ok": self.child_ok,
+            "local_members": len(self.local_members),
+            "ring_members": len(self.ring_members),
+            "neighbor_members": len(self.neighbor_members),
+            "mq_pending": len(self.mq),
+        }

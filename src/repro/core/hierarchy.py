@@ -1,0 +1,359 @@
+"""The ring-based hierarchy (paper Section 4.1, Figure 2).
+
+The hierarchy stacks logical rings: the topmost tier holds a single ring of
+border routers; each node of a ring in tier *t* may be the *parent* of one
+ring in tier *t-1*; the leader of a child ring reports membership changes to
+its parent node.  Only a portion of the network entities configured to run
+the protocol participate.
+
+Two constructions are provided:
+
+* :meth:`HierarchyBuilder.from_topology` — builds the three-tier hierarchy of
+  Figure 2 (AP rings per access gateway, AG rings per border router, one BR
+  ring) from a generated 4-tier topology.
+* :meth:`HierarchyBuilder.regular` — builds the *regular full hierarchy* used
+  by the paper's analysis: height ``h``, every ring exactly ``r`` nodes, so
+  ``n = r**h`` access proxies and ``tn = sum_{i=0}^{h-1} r**i`` rings.  For
+  ``h > 3`` the extra levels model the paper's "sub-tiers" within a tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.entity import EntityRole, NetworkEntityState
+from repro.core.identifiers import GroupId, NodeId, coerce_group
+from repro.core.ring import LogicalRing, RingError
+from repro.topology.generator import GeneratedTopology
+
+
+class HierarchyError(RuntimeError):
+    """Raised for malformed hierarchies."""
+
+
+_TIER_NAMES = {
+    1: "Access Proxy Tier (APT)",
+    2: "Access Gateway Tier (AGT)",
+    3: "Border Router Tier (BRT)",
+}
+
+
+@dataclass
+class RingHierarchy:
+    """The assembled ring-based hierarchy.
+
+    Structural queries only — protocol execution lives in
+    :mod:`repro.core.one_round` and :mod:`repro.core.protocol`, which operate
+    on the per-entity local state this class helps initialise.
+    """
+
+    group: GroupId
+    rings: Dict[str, LogicalRing] = field(default_factory=dict)
+    ring_of_node: Dict[NodeId, str] = field(default_factory=dict)
+    parent_node: Dict[str, NodeId] = field(default_factory=dict)
+    child_rings: Dict[NodeId, List[str]] = field(default_factory=dict)
+    tier_labels: Dict[int, str] = field(default_factory=dict)
+
+    # -- construction helpers ------------------------------------------------------
+
+    def add_ring(self, ring: LogicalRing, parent: Optional[NodeId] = None) -> None:
+        """Register ``ring``; ``parent`` is the node its leader reports to."""
+        if ring.ring_id in self.rings:
+            raise HierarchyError(f"duplicate ring id {ring.ring_id!r}")
+        for node in ring.members:
+            if node in self.ring_of_node:
+                raise HierarchyError(
+                    f"node {node} already belongs to ring {self.ring_of_node[node]!r}"
+                )
+        self.rings[ring.ring_id] = ring
+        for node in ring.members:
+            self.ring_of_node[node] = ring.ring_id
+        if parent is not None:
+            self.parent_node[ring.ring_id] = parent
+            self.child_rings.setdefault(parent, []).append(ring.ring_id)
+
+    # -- structural queries ------------------------------------------------------------
+
+    def ring(self, ring_id: str) -> LogicalRing:
+        try:
+            return self.rings[ring_id]
+        except KeyError:
+            raise HierarchyError(f"unknown ring {ring_id!r}") from None
+
+    def ring_of(self, node: "NodeId | str") -> LogicalRing:
+        key = node if isinstance(node, NodeId) else NodeId(str(node))
+        try:
+            return self.rings[self.ring_of_node[key]]
+        except KeyError:
+            raise HierarchyError(f"node {node} is not in any ring") from None
+
+    def has_node(self, node: "NodeId | str") -> bool:
+        key = node if isinstance(node, NodeId) else NodeId(str(node))
+        return key in self.ring_of_node
+
+    def parent_of_ring(self, ring_id: str) -> Optional[NodeId]:
+        return self.parent_node.get(ring_id)
+
+    def parent_of_node(self, node: "NodeId | str") -> Optional[NodeId]:
+        """The parent node of the ring ``node`` belongs to."""
+        return self.parent_of_ring(self.ring_of(node).ring_id)
+
+    def children_of_node(self, node: "NodeId | str") -> List[str]:
+        """Ring ids whose parent node is ``node``."""
+        key = node if isinstance(node, NodeId) else NodeId(str(node))
+        return list(self.child_rings.get(key, []))
+
+    def child_leaders(self, node: "NodeId | str") -> List[NodeId]:
+        """Leaders of the child rings of ``node``."""
+        leaders = []
+        for ring_id in self.children_of_node(node):
+            leader = self.rings[ring_id].leader
+            if leader is not None:
+                leaders.append(leader)
+        return leaders
+
+    def tiers(self) -> List[int]:
+        """Distinct tier indices present, ascending."""
+        return sorted({ring.tier for ring in self.rings.values()})
+
+    def tier_name(self, tier: int) -> str:
+        return self.tier_labels.get(tier, _TIER_NAMES.get(tier, f"Tier {tier}"))
+
+    def rings_in_tier(self, tier: int) -> List[LogicalRing]:
+        return sorted(
+            (ring for ring in self.rings.values() if ring.tier == tier),
+            key=lambda r: r.ring_id,
+        )
+
+    def bottom_tier(self) -> int:
+        tiers = self.tiers()
+        if not tiers:
+            raise HierarchyError("hierarchy has no rings")
+        return tiers[0]
+
+    def top_tier(self) -> int:
+        tiers = self.tiers()
+        if not tiers:
+            raise HierarchyError("hierarchy has no rings")
+        return tiers[-1]
+
+    def topmost_ring(self) -> LogicalRing:
+        rings = self.rings_in_tier(self.top_tier())
+        if len(rings) != 1:
+            raise HierarchyError(
+                f"expected exactly one topmost ring, found {len(rings)}"
+            )
+        return rings[0]
+
+    def bottom_rings(self) -> List[LogicalRing]:
+        return self.rings_in_tier(self.bottom_tier())
+
+    def access_proxies(self) -> List[NodeId]:
+        """All nodes in the bottommost rings (the paper's scalability ``n``)."""
+        nodes: List[NodeId] = []
+        for ring in self.bottom_rings():
+            nodes.extend(ring.members)
+        return nodes
+
+    @property
+    def height(self) -> int:
+        """Number of ring tiers (the paper's ``h``)."""
+        return len(self.tiers())
+
+    @property
+    def total_rings(self) -> int:
+        """The paper's ``tn``."""
+        return len(self.rings)
+
+    def total_nodes(self) -> int:
+        return len(self.ring_of_node)
+
+    def logical_edge_count(self) -> int:
+        """Ring edges plus one leader→parent edge per non-topmost ring."""
+        edges = sum(ring.edge_count() for ring in self.rings.values())
+        edges += sum(1 for ring_id in self.rings if ring_id in self.parent_node)
+        return edges
+
+    def ancestry(self, node: "NodeId | str") -> List[NodeId]:
+        """Chain of parent nodes from ``node``'s ring up to the topmost ring."""
+        chain: List[NodeId] = []
+        current = node if isinstance(node, NodeId) else NodeId(str(node))
+        while True:
+            parent = self.parent_of_node(current)
+            if parent is None:
+                break
+            chain.append(parent)
+            current = parent
+        return chain
+
+    def validate(self) -> None:
+        """Structural invariants used by property tests.
+
+        * every ring has a leader and at least one member;
+        * every non-topmost ring has a parent node that itself belongs to a
+          ring exactly one tier above;
+        * parent links are acyclic and reach the topmost ring.
+        """
+        if not self.rings:
+            raise HierarchyError("hierarchy has no rings")
+        top = self.top_tier()
+        for ring in self.rings.values():
+            ring.validate()
+            if ring.is_empty:
+                raise HierarchyError(f"ring {ring.ring_id!r} is empty")
+            if ring.leader is None:
+                raise HierarchyError(f"ring {ring.ring_id!r} has no leader")
+            parent = self.parent_node.get(ring.ring_id)
+            if ring.tier == top:
+                if parent is not None:
+                    raise HierarchyError("topmost ring must not have a parent")
+                continue
+            if parent is None:
+                raise HierarchyError(f"non-topmost ring {ring.ring_id!r} has no parent")
+            parent_ring = self.ring_of(parent)
+            if parent_ring.tier != ring.tier + 1:
+                raise HierarchyError(
+                    f"ring {ring.ring_id!r} (tier {ring.tier}) has parent in tier "
+                    f"{parent_ring.tier}, expected {ring.tier + 1}"
+                )
+        # Every node's ancestry must terminate at the topmost ring.
+        top_ring = self.topmost_ring()
+        for node in self.ring_of_node:
+            chain = self.ancestry(node)
+            terminal = chain[-1] if chain else node
+            if terminal not in top_ring.members:
+                raise HierarchyError(f"ancestry of {node} does not reach the topmost ring")
+
+    # -- entity state wiring --------------------------------------------------------------
+
+    def build_entity_states(self, roles: Optional[Dict[str, EntityRole]] = None) -> Dict[NodeId, NetworkEntityState]:
+        """Create per-entity local state with ring/parent/child pointers set.
+
+        ``roles`` maps node-id strings to :class:`EntityRole`; nodes not listed
+        get a role derived from their tier (bottom tier → AP, top → BR,
+        everything in between → AG), which is also how the regular analytical
+        hierarchies with sub-tiers are labelled.
+        """
+        roles = roles or {}
+        bottom, top = self.bottom_tier(), self.top_tier()
+        states: Dict[NodeId, NetworkEntityState] = {}
+        for ring in self.rings.values():
+            for node in ring.members:
+                role = roles.get(str(node))
+                if role is None:
+                    if ring.tier == bottom:
+                        role = EntityRole.ACCESS_PROXY
+                    elif ring.tier == top:
+                        role = EntityRole.BORDER_ROUTER
+                    else:
+                        role = EntityRole.ACCESS_GATEWAY
+                state = NetworkEntityState(current=node, role=role, group=self.group)
+                if ring.leader is None:
+                    raise HierarchyError(f"ring {ring.ring_id!r} has no leader")
+                state.set_ring_pointers(
+                    ring_id=ring.ring_id,
+                    leader=ring.leader,
+                    previous=ring.predecessor(node),
+                    next_node=ring.successor(node),
+                )
+                state.set_parent(self.parent_node.get(ring.ring_id))
+                states[node] = state
+        # Child pointers: a node's children are the leaders of its child rings.
+        for node, state in states.items():
+            for ring_id in self.children_of_node(node):
+                leader = self.rings[ring_id].leader
+                if leader is not None:
+                    state.add_child(leader)
+            state.child_ok = bool(state.children)
+        return states
+
+
+class HierarchyBuilder:
+    """Constructs :class:`RingHierarchy` instances."""
+
+    def __init__(self, group: "GroupId | str" = "group-0") -> None:
+        self.group = coerce_group(group)
+
+    # -- from a generated 4-tier topology --------------------------------------------
+
+    def from_topology(self, topology: GeneratedTopology) -> RingHierarchy:
+        """Three-tier hierarchy: AP rings per AG, AG rings per BR, one BR ring."""
+        arch = topology.architecture
+        hierarchy = RingHierarchy(group=self.group)
+        hierarchy.tier_labels.update(_TIER_NAMES)
+
+        # Topmost: one ring of all border routers.
+        br_nodes = [NodeId(br) for br in arch.border_routers]
+        br_ring = LogicalRing(ring_id="brt-ring", tier=3, members=br_nodes)
+        br_ring.elect_leader()
+        hierarchy.add_ring(br_ring)
+
+        # Access gateway rings: one per border router.
+        for br in arch.border_routers:
+            ags = [NodeId(ag) for ag in sorted(arch.ags_of_br(br))]
+            if not ags:
+                continue
+            ring = LogicalRing(ring_id=f"agt-ring-{br}", tier=2, members=ags)
+            ring.elect_leader()
+            hierarchy.add_ring(ring, parent=NodeId(br))
+
+        # Access proxy rings: one per access gateway.
+        for ag in arch.access_gateways:
+            aps = [NodeId(ap) for ap in sorted(arch.aps_of_ag(ag))]
+            if not aps:
+                continue
+            ring = LogicalRing(ring_id=f"apt-ring-{ag}", tier=1, members=aps)
+            ring.elect_leader()
+            hierarchy.add_ring(ring, parent=NodeId(ag))
+
+        hierarchy.validate()
+        return hierarchy
+
+    # -- regular analytical hierarchy ---------------------------------------------------
+
+    def regular(self, ring_size: int, height: int) -> RingHierarchy:
+        """The full regular hierarchy of the paper's analysis.
+
+        ``height`` tiers of rings; every ring has exactly ``ring_size`` nodes;
+        tier indices run from 1 (bottommost, access proxies) to ``height``
+        (topmost).  Node ids encode their position: ``L{tier}-{path}``.
+        """
+        if ring_size < 2:
+            raise ValueError(f"ring_size must be >= 2, got {ring_size}")
+        if height < 2:
+            raise ValueError(f"height must be >= 2, got {height}")
+        hierarchy = RingHierarchy(group=self.group)
+        # Human-readable tier labels: bottom = APT, top = BRT, middle = AGT sub-tiers.
+        for tier in range(1, height + 1):
+            if tier == 1:
+                hierarchy.tier_labels[tier] = "Access Proxy Tier (APT)"
+            elif tier == height:
+                hierarchy.tier_labels[tier] = "Border Router Tier (BRT)"
+            else:
+                hierarchy.tier_labels[tier] = f"Access Gateway Tier (AGT sub-tier {height - tier})"
+
+        # Build top-down.  parents_at[tier] lists the nodes of that tier in order.
+        top_tier = height
+        top_members = [NodeId(f"L{top_tier}-{i:04d}") for i in range(ring_size)]
+        top_ring = LogicalRing(ring_id=f"ring-T{top_tier}-0000", tier=top_tier, members=top_members)
+        top_ring.elect_leader()
+        hierarchy.add_ring(top_ring)
+        parents = list(top_members)
+
+        for tier in range(top_tier - 1, 0, -1):
+            next_parents: List[NodeId] = []
+            for parent_index, parent in enumerate(parents):
+                members = [
+                    NodeId(f"L{tier}-{parent_index:04d}-{i:04d}") for i in range(ring_size)
+                ]
+                ring = LogicalRing(
+                    ring_id=f"ring-T{tier}-{parent_index:04d}", tier=tier, members=members
+                )
+                ring.elect_leader()
+                hierarchy.add_ring(ring, parent=parent)
+                next_parents.extend(members)
+            parents = next_parents
+
+        hierarchy.validate()
+        return hierarchy

@@ -1,0 +1,95 @@
+"""Identifier types used throughout the protocol (paper Section 4.2).
+
+The paper names four identifier spaces:
+
+* ``GID`` — group identity, e.g. an IP multicast Class D address;
+* ``NodeID`` — identity of a network entity (AP/AG/BR), e.g. its IP address;
+* ``GUID`` — globally unique identity of a mobile host, e.g. its Mobile IP
+  home address;
+* ``LUID`` — locally unique identity of a mobile host, e.g. its Mobile IP
+  care-of address, which changes on every handoff.
+
+The reproduction models all of them as thin, validated ``str`` wrappers so
+that type confusion (passing a node id where a member GUID is expected) is
+caught early in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class _Identifier:
+    """Base class for validated string identifiers."""
+
+    value: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, str) or not self.value:
+            raise ValueError(
+                f"{type(self).__name__} requires a non-empty string, got {self.value!r}"
+            )
+
+    def __str__(self) -> str:
+        return self.value
+
+    def __format__(self, spec: str) -> str:
+        return format(self.value, spec)
+
+
+class GroupId(_Identifier):
+    """A communication group identity (``GID``)."""
+
+
+class NodeId(_Identifier):
+    """A network entity identity (``NodeID``) — an AP, AG or BR."""
+
+
+class GloballyUniqueId(_Identifier):
+    """A mobile host's globally unique identity (``GUID``).
+
+    Stable across handoffs; analogous to a Mobile IP home address.
+    """
+
+
+class LocallyUniqueId(_Identifier):
+    """A mobile host's locally unique identity (``LUID``).
+
+    Scoped to the current access proxy; analogous to a Mobile IP care-of
+    address and re-issued on every handoff.
+    """
+
+
+def make_luid(ap_id: "NodeId | str", guid: "GloballyUniqueId | str", epoch: int) -> LocallyUniqueId:
+    """Derive a care-of-address-like LUID for a host attached to an AP.
+
+    ``epoch`` distinguishes successive attachments of the same host to the
+    same access proxy (e.g. re-attachment after a transient disconnection).
+    """
+    if epoch < 0:
+        raise ValueError(f"epoch must be non-negative, got {epoch}")
+    ap_value = ap_id.value if isinstance(ap_id, NodeId) else str(ap_id)
+    guid_value = guid.value if isinstance(guid, GloballyUniqueId) else str(guid)
+    return LocallyUniqueId(f"{ap_value}/{guid_value}#{epoch}")
+
+
+def coerce_group(value: "GroupId | str") -> GroupId:
+    """Accept either a :class:`GroupId` or a plain string group name."""
+    return value if isinstance(value, GroupId) else GroupId(str(value))
+
+
+def coerce_node(value: "NodeId | str") -> NodeId:
+    """Accept either a :class:`NodeId` or a plain string node name."""
+    return value if isinstance(value, NodeId) else NodeId(str(value))
+
+
+def coerce_guid(value: "GloballyUniqueId | str") -> GloballyUniqueId:
+    """Accept either a :class:`GloballyUniqueId` or a plain string."""
+    return value if isinstance(value, GloballyUniqueId) else GloballyUniqueId(str(value))
+
+
+def is_identifier(obj: Any) -> bool:
+    """True for any of the identifier wrapper types."""
+    return isinstance(obj, _Identifier)

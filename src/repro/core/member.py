@@ -1,0 +1,129 @@
+"""Mobile host (group member) data structures (paper Section 4.2).
+
+A mobile host participating in a group records its group id, the access proxy
+it is attached to, its globally and locally unique identities and its status.
+Network entities keep :class:`MemberInfo` records — the per-member entry that
+appears in ``ListOfLocalMembers``, ``ListOfRingMembers`` and
+``ListOfNeighborMembers``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.identifiers import (
+    GloballyUniqueId,
+    GroupId,
+    LocallyUniqueId,
+    NodeId,
+    make_luid,
+)
+
+
+class MemberStatus(enum.Enum):
+    """Status of a mobile host as seen by the membership service.
+
+    The paper lists "typical status like operational, disconnected, and
+    failed"; ``LEFT`` is added to distinguish voluntary departure from faulty
+    disconnection in membership views.
+    """
+
+    OPERATIONAL = "operational"
+    DISCONNECTED = "disconnected"
+    FAILED = "failed"
+    LEFT = "left"
+
+    @property
+    def is_operational(self) -> bool:
+        return self is MemberStatus.OPERATIONAL
+
+
+@dataclass(frozen=True)
+class MemberInfo:
+    """Per-member record stored by network entities.
+
+    Immutable: state changes produce a new record (see :meth:`with_status`
+    and :meth:`handed_off_to`), which keeps membership views safe to share
+    between entities without defensive copies.
+    """
+
+    guid: GloballyUniqueId
+    group: GroupId
+    ap: NodeId
+    luid: LocallyUniqueId
+    status: MemberStatus = MemberStatus.OPERATIONAL
+
+    def with_status(self, status: MemberStatus) -> "MemberInfo":
+        """Copy of this record with a different status."""
+        return replace(self, status=status)
+
+    def handed_off_to(self, new_ap: NodeId, epoch: int) -> "MemberInfo":
+        """Copy of this record after a handoff to ``new_ap``.
+
+        The GUID is stable; the attachment point and the LUID change.
+        """
+        return replace(self, ap=new_ap, luid=make_luid(new_ap, self.guid, epoch))
+
+    @property
+    def is_operational(self) -> bool:
+        return self.status.is_operational
+
+
+@dataclass
+class MobileHostState:
+    """The state a mobile host itself maintains (paper Section 4.2).
+
+    This mirrors the MH data structure: GID, attached AP, GUID, LUID, status.
+    ``attachment_epoch`` counts attachments (initial join plus every handoff
+    or re-attachment) and feeds LUID derivation.
+    """
+
+    guid: GloballyUniqueId
+    group: GroupId
+    ap: Optional[NodeId] = None
+    luid: Optional[LocallyUniqueId] = None
+    status: MemberStatus = MemberStatus.DISCONNECTED
+    attachment_epoch: int = 0
+
+    def attach(self, ap: NodeId) -> MemberInfo:
+        """Attach to ``ap``; returns the member record to register at the AP."""
+        self.ap = ap
+        self.attachment_epoch += 1
+        self.luid = make_luid(ap, self.guid, self.attachment_epoch)
+        self.status = MemberStatus.OPERATIONAL
+        return self.to_member_info()
+
+    def handoff(self, new_ap: NodeId) -> MemberInfo:
+        """Move to ``new_ap``; returns the updated member record."""
+        if self.ap is None:
+            raise ValueError(f"host {self.guid} cannot hand off before attaching")
+        if self.status is not MemberStatus.OPERATIONAL:
+            raise ValueError(
+                f"host {self.guid} cannot hand off while {self.status.value}"
+            )
+        return_record = self.attach(new_ap)
+        return return_record
+
+    def disconnect(self, faulty: bool = False) -> None:
+        """Mark the host disconnected (transient) or failed (faulty)."""
+        self.status = MemberStatus.FAILED if faulty else MemberStatus.DISCONNECTED
+
+    def leave(self) -> None:
+        """Voluntary departure from the group."""
+        self.status = MemberStatus.LEFT
+        self.ap = None
+        self.luid = None
+
+    def to_member_info(self) -> MemberInfo:
+        """Snapshot of this host as a :class:`MemberInfo` record."""
+        if self.ap is None or self.luid is None:
+            raise ValueError(f"host {self.guid} is not attached to any access proxy")
+        return MemberInfo(
+            guid=self.guid,
+            group=self.group,
+            ap=self.ap,
+            luid=self.luid,
+            status=self.status,
+        )

@@ -1,0 +1,199 @@
+"""Membership views and membership change events.
+
+A :class:`MembershipView` is the list of currently operational members a
+network entity believes are in the group — the paper's
+``ListOfLocalMembers`` / ``ListOfRingMembers`` / ``ListOfNeighborMembers`` are
+all instances with different scopes.  Views are updated by applying
+:class:`repro.core.token.TokenOperation` records (what tokens carry) and emit
+:class:`MembershipEvent` records describing the change for applications.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.identifiers import GloballyUniqueId, GroupId, NodeId
+from repro.core.member import MemberInfo, MemberStatus
+from repro.core.token import TokenOperation, TokenOperationType
+
+
+class MembershipEventType(enum.Enum):
+    """Kinds of membership change events exposed to applications."""
+
+    JOIN = "join"
+    LEAVE = "leave"
+    HANDOFF = "handoff"
+    FAILURE = "failure"
+    VIEW_CHANGE = "view-change"
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One membership change as observed at a network entity."""
+
+    event_type: MembershipEventType
+    time: float
+    observer: NodeId
+    member: Optional[MemberInfo] = None
+    previous_ap: Optional[NodeId] = None
+    view_size: int = 0
+
+
+_EVENT_FOR_OP = {
+    TokenOperationType.MEMBER_JOIN: MembershipEventType.JOIN,
+    TokenOperationType.MEMBER_LEAVE: MembershipEventType.LEAVE,
+    TokenOperationType.MEMBER_HANDOFF: MembershipEventType.HANDOFF,
+    TokenOperationType.MEMBER_FAILURE: MembershipEventType.FAILURE,
+}
+
+
+class MembershipView:
+    """A set of operational member records with change application.
+
+    The view is keyed by member GUID.  Applying an operation is idempotent:
+    re-applying the same join or removal leaves the view unchanged and reports
+    ``changed=False``, which is what makes the one-round algorithm safe to
+    deliver the same aggregated operation to a node more than once (e.g. when
+    a token is retransmitted).
+    """
+
+    def __init__(self, scope: str, owner: NodeId, group: GroupId) -> None:
+        self.scope = scope
+        self.owner = owner
+        self.group = group
+        self._members: Dict[GloballyUniqueId, MemberInfo] = {}
+        self.version = 0
+
+    # -- read side -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, guid: object) -> bool:
+        if isinstance(guid, MemberInfo):
+            return guid.guid in self._members
+        if isinstance(guid, GloballyUniqueId):
+            return guid in self._members
+        return GloballyUniqueId(str(guid)) in self._members
+
+    def get(self, guid: "GloballyUniqueId | str") -> Optional[MemberInfo]:
+        key = guid if isinstance(guid, GloballyUniqueId) else GloballyUniqueId(str(guid))
+        return self._members.get(key)
+
+    def members(self) -> List[MemberInfo]:
+        """Current members sorted by GUID (deterministic)."""
+        return [self._members[k] for k in sorted(self._members, key=lambda g: g.value)]
+
+    def guids(self) -> List[str]:
+        return sorted(str(g) for g in self._members)
+
+    def members_at(self, ap: "NodeId | str") -> List[MemberInfo]:
+        """Members currently attached to access proxy ``ap``."""
+        ap_value = ap.value if isinstance(ap, NodeId) else str(ap)
+        return [m for m in self.members() if m.ap.value == ap_value]
+
+    # -- write side -------------------------------------------------------------
+
+    def add(self, member: MemberInfo) -> bool:
+        """Add or refresh a member record.  Returns True if the view changed."""
+        existing = self._members.get(member.guid)
+        if existing == member:
+            return False
+        self._members[member.guid] = member
+        self.version += 1
+        return True
+
+    def remove(self, guid: "GloballyUniqueId | str") -> bool:
+        """Remove a member.  Returns True if it was present."""
+        key = guid if isinstance(guid, GloballyUniqueId) else GloballyUniqueId(str(guid))
+        if key not in self._members:
+            return False
+        del self._members[key]
+        self.version += 1
+        return True
+
+    def apply(self, operation: TokenOperation, time: float) -> Optional[MembershipEvent]:
+        """Apply one token operation; returns the event if the view changed.
+
+        Network-entity operations (NE-Join/Leave/Failure) do not change the
+        member view directly — they matter for the hierarchy layer — so they
+        return ``None`` here.
+        """
+        if not operation.op_type.concerns_member or operation.member is None:
+            return None
+        member = operation.member
+        changed: bool
+        if operation.op_type is TokenOperationType.MEMBER_JOIN:
+            changed = self.add(member.with_status(MemberStatus.OPERATIONAL))
+        elif operation.op_type is TokenOperationType.MEMBER_HANDOFF:
+            changed = self.add(member.with_status(MemberStatus.OPERATIONAL))
+        elif operation.op_type is TokenOperationType.MEMBER_LEAVE:
+            changed = self.remove(member.guid)
+        elif operation.op_type is TokenOperationType.MEMBER_FAILURE:
+            changed = self.remove(member.guid)
+        else:  # pragma: no cover - exhaustive over member ops
+            return None
+        if not changed:
+            return None
+        return MembershipEvent(
+            event_type=_EVENT_FOR_OP[operation.op_type],
+            time=time,
+            observer=self.owner,
+            member=member,
+            previous_ap=operation.previous_ap,
+            view_size=len(self),
+        )
+
+    def apply_all(
+        self, operations: Iterable[TokenOperation], time: float
+    ) -> List[MembershipEvent]:
+        """Apply several operations, returning the events that changed the view."""
+        events: List[MembershipEvent] = []
+        for operation in operations:
+            event = self.apply(operation, time)
+            if event is not None:
+                events.append(event)
+        return events
+
+    # -- comparison ---------------------------------------------------------------
+
+    def snapshot(self) -> Tuple[Tuple[str, str, str], ...]:
+        """Hashable snapshot (guid, ap, status) used for agreement checks."""
+        return tuple(
+            (str(m.guid), str(m.ap), m.status.value) for m in self.members()
+        )
+
+    def agrees_with(self, other: "MembershipView") -> bool:
+        """True when both views contain exactly the same member records."""
+        return self.snapshot() == other.snapshot()
+
+    def difference(self, other: "MembershipView") -> Dict[str, List[str]]:
+        """GUIDs present in exactly one of the two views (for diagnostics)."""
+        mine = set(self.guids())
+        theirs = set(other.guids())
+        return {
+            "only_in_self": sorted(mine - theirs),
+            "only_in_other": sorted(theirs - mine),
+        }
+
+    def merge_from(self, other: "MembershipView") -> int:
+        """Union-merge ``other`` into this view; returns the number of additions.
+
+        Used by the partition/merge extension and by the query service when
+        assembling a global view from per-ring views under the BMS scheme.
+        """
+        added = 0
+        for member in other.members():
+            if self.add(member):
+                added += 1
+        return added
+
+    def copy(self, scope: Optional[str] = None) -> "MembershipView":
+        """Deep-enough copy of this view (records are immutable)."""
+        clone = MembershipView(scope or self.scope, self.owner, self.group)
+        for member in self.members():
+            clone.add(member)
+        clone.version = self.version
+        return clone

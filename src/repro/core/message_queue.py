@@ -1,0 +1,170 @@
+"""The self-optimising message queue of a network entity (paper Section 4.2).
+
+Each network entity owns an ``MQ`` — a message queue "which is self-optimized
+for aggregating some successive messages into one for further processing".
+Membership change messages from attached mobile hosts, notifications from
+child ring leaders and locally detected faults all land here; when the entity
+starts a token round it drains the queue and the drained operations become the
+token's aggregated ``OP``.
+
+Aggregation rules
+-----------------
+Successive operations about the *same member* collapse:
+
+* join followed by leave (before propagation) cancels to nothing;
+* join followed by handoff collapses to a join at the new access proxy;
+* handoff followed by handoff keeps only the latest attachment;
+* leave/failure after any earlier operation supersedes it;
+* duplicate identical operations collapse to one.
+
+Operations about different members (or about network entities) never
+interfere with each other and preserve arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.identifiers import NodeId
+from repro.core.token import TokenOperation, TokenOperationType
+
+
+@dataclass(frozen=True)
+class QueuedMessage:
+    """One entry in a message queue."""
+
+    operation: TokenOperation
+    sender: NodeId
+    enqueued_at: float
+
+
+class MessageQueue:
+    """Aggregating FIFO of membership change operations.
+
+    Parameters
+    ----------
+    owner:
+        The network entity that owns this queue (for diagnostics).
+    aggregate:
+        When False the queue degrades to a plain FIFO with no collapsing; the
+        ablation benchmark compares both modes.
+    """
+
+    def __init__(self, owner: NodeId, aggregate: bool = True) -> None:
+        self.owner = owner
+        self.aggregate = aggregate
+        self._entries: List[QueuedMessage] = []
+        self.total_enqueued = 0
+        self.total_aggregated_away = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def insert(self, operation: TokenOperation, sender: NodeId, now: float) -> None:
+        """Insert one operation (``MQ.Insert`` in the paper's pseudocode)."""
+        self.total_enqueued += 1
+        entry = QueuedMessage(operation=operation, sender=sender, enqueued_at=now)
+        if not self.aggregate:
+            self._entries.append(entry)
+            return
+        self._entries = self._aggregate_in(self._entries, entry)
+
+    def _aggregate_in(
+        self, entries: List[QueuedMessage], new: List[QueuedMessage] | QueuedMessage
+    ) -> List[QueuedMessage]:
+        new_entry = new if isinstance(new, QueuedMessage) else None
+        if new_entry is None:
+            raise TypeError("internal: _aggregate_in expects a single entry")
+        op = new_entry.operation
+        if op.member is None:
+            # Network-entity operations: only collapse exact duplicates.
+            for existing in entries:
+                if (
+                    existing.operation.op_type is op.op_type
+                    and existing.operation.entity == op.entity
+                ):
+                    self.total_aggregated_away += 1
+                    return entries
+            return entries + [new_entry]
+
+        guid = op.member.guid
+        kept: List[QueuedMessage] = []
+        pending_for_member: Optional[QueuedMessage] = None
+        for existing in entries:
+            if existing.operation.member is not None and existing.operation.member.guid == guid:
+                pending_for_member = existing
+            else:
+                kept.append(existing)
+
+        merged = self._merge_member_ops(pending_for_member, new_entry)
+        if merged is None:
+            # The pair cancelled out entirely (join then leave).
+            self.total_aggregated_away += 2 if pending_for_member is not None else 1
+            return kept
+        if pending_for_member is not None:
+            self.total_aggregated_away += 1
+        return kept + [merged]
+
+    @staticmethod
+    def _merge_member_ops(
+        earlier: Optional[QueuedMessage], later: QueuedMessage
+    ) -> Optional[QueuedMessage]:
+        """Collapse two queued operations about the same member."""
+        if earlier is None:
+            return later
+        e, l = earlier.operation, later.operation
+        # Identical repeated operation: keep the earlier one.
+        if e.op_type is l.op_type and e.member == l.member:
+            return earlier
+        if e.op_type is TokenOperationType.MEMBER_JOIN:
+            if l.op_type in (TokenOperationType.MEMBER_LEAVE, TokenOperationType.MEMBER_FAILURE):
+                return None  # never propagated: join cancelled by departure
+            if l.op_type is TokenOperationType.MEMBER_HANDOFF:
+                # Propagate a single join at the member's latest location.
+                collapsed = replace(l, op_type=TokenOperationType.MEMBER_JOIN, previous_ap=None)
+                return QueuedMessage(
+                    operation=collapsed, sender=later.sender, enqueued_at=earlier.enqueued_at
+                )
+        if e.op_type is TokenOperationType.MEMBER_HANDOFF:
+            if l.op_type is TokenOperationType.MEMBER_HANDOFF:
+                # Keep the original previous_ap, latest destination.
+                collapsed = replace(l, previous_ap=e.previous_ap)
+                return QueuedMessage(
+                    operation=collapsed, sender=later.sender, enqueued_at=earlier.enqueued_at
+                )
+        # Default: the later operation supersedes the earlier one.
+        return later
+
+    def drain(self) -> Tuple[TokenOperation, ...]:
+        """Remove and return all queued operations in order."""
+        operations = tuple(entry.operation for entry in self._entries)
+        self._entries.clear()
+        return operations
+
+    def drain_entries(self) -> Tuple[QueuedMessage, ...]:
+        """Remove and return all queued entries (with sender metadata)."""
+        entries = tuple(self._entries)
+        self._entries.clear()
+        return entries
+
+    def peek(self) -> Tuple[TokenOperation, ...]:
+        """Queued operations without removing them."""
+        return tuple(entry.operation for entry in self._entries)
+
+    def senders(self) -> List[NodeId]:
+        """Distinct senders of the currently queued entries."""
+        seen: Dict[NodeId, None] = {}
+        for entry in self._entries:
+            seen.setdefault(entry.sender, None)
+        return list(seen)
+
+    def aggregation_ratio(self) -> float:
+        """Fraction of enqueued messages absorbed by aggregation."""
+        if self.total_enqueued == 0:
+            return 0.0
+        return self.total_aggregated_away / self.total_enqueued

@@ -1,0 +1,822 @@
+"""Message-passing protocol engine running on the discrete-event transport.
+
+Where :mod:`repro.core.one_round` executes token rounds structurally (shared
+memory, zero latency), this module runs the same algorithm as an actual
+distributed protocol: every network entity is an endpoint on the simulated
+:class:`repro.sim.transport.Transport`, tokens and notifications are real
+messages subject to latency and loss, failure detection is driven by token
+acknowledgement timeouts, and ring repair is performed with only the local
+knowledge each entity has (its ring view travels with the token, Totem-style).
+
+Differences from the paper's presentation, kept deliberately small:
+
+* Round arbitration.  The paper lets the token circulate perpetually, with
+  control passing to the next entity after each round.  To keep simulated
+  event counts bounded, a ring is *idle* when nobody has queued work; an
+  entity that enqueues work signals the ring leader, and the leader grants
+  rounds one at a time (the grant names the requesting entity as holder).
+  Message counts per membership change are unchanged apart from the one
+  signal + one grant pair.
+* The token message carries the ring membership view so that a node that
+  detects its successor's failure can splice the ring and propagate the
+  repaired view without global knowledge.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import ProtocolConfig
+from repro.core.entity import EntityRole, NetworkEntityState
+from repro.core.events import MembershipEventBus
+from repro.core.hierarchy import RingHierarchy
+from repro.core.identifiers import GloballyUniqueId, NodeId, coerce_guid, coerce_node, make_luid
+from repro.core.member import MemberInfo, MemberStatus
+from repro.core.token import TokenOperation, TokenOperationType
+from repro.sim.engine import Event, SimulationEngine
+from repro.sim.network import Network, NodeState
+from repro.sim.stats import MetricRegistry
+from repro.sim.trace import TraceRecorder
+from repro.sim.transport import Message, Transport
+
+# Message type tags used on the wire.
+MSG_MQ_INSERT = "rgb.mq-insert"
+MSG_WORK_SIGNAL = "rgb.work-signal"
+MSG_ROUND_GRANT = "rgb.round-grant"
+MSG_ROUND_COMPLETE = "rgb.round-complete"
+MSG_TOKEN = "rgb.token"
+MSG_TOKEN_ACK = "rgb.token-ack"
+MSG_HOLDER_ACK = "rgb.holder-ack"
+
+
+def _encode_member(member: MemberInfo) -> Dict[str, str]:
+    return {
+        "guid": str(member.guid),
+        "group": str(member.group),
+        "ap": str(member.ap),
+        "luid": str(member.luid),
+        "status": member.status.value,
+    }
+
+
+def _decode_member(data: Dict[str, str]) -> MemberInfo:
+    from repro.core.identifiers import GroupId, LocallyUniqueId
+
+    return MemberInfo(
+        guid=GloballyUniqueId(data["guid"]),
+        group=GroupId(data["group"]),
+        ap=NodeId(data["ap"]),
+        luid=LocallyUniqueId(data["luid"]),
+        status=MemberStatus(data["status"]),
+    )
+
+
+def _encode_op(op: TokenOperation) -> Dict[str, object]:
+    return {
+        "op_type": op.op_type.value,
+        "origin": str(op.origin),
+        "member": _encode_member(op.member) if op.member is not None else None,
+        "entity": str(op.entity) if op.entity is not None else None,
+        "previous_ap": str(op.previous_ap) if op.previous_ap is not None else None,
+        "sequence": op.sequence,
+    }
+
+
+def _decode_op(data: Dict[str, object]) -> TokenOperation:
+    return TokenOperation(
+        op_type=TokenOperationType(data["op_type"]),
+        origin=NodeId(str(data["origin"])),
+        member=_decode_member(data["member"]) if data.get("member") else None,  # type: ignore[arg-type]
+        entity=NodeId(str(data["entity"])) if data.get("entity") else None,
+        previous_ap=NodeId(str(data["previous_ap"])) if data.get("previous_ap") else None,
+        sequence=int(data["sequence"]),  # type: ignore[arg-type]
+    )
+
+
+@dataclass
+class _PendingToken:
+    """Book-keeping for a token the local node has sent but not yet had acked."""
+
+    destination: NodeId
+    payload: Dict[str, object]
+    attempts: int = 0
+    timer: Optional[Event] = None
+
+
+class RGBProtocolNode:
+    """One network entity running the RGB protocol over the transport."""
+
+    def __init__(
+        self,
+        state: NetworkEntityState,
+        cluster: "RGBProtocolCluster",
+    ) -> None:
+        self.state = state
+        self.cluster = cluster
+        self.config = cluster.config
+        self.node_id = state.current
+        self._seen_ops: Set[int] = set()
+        self._forwarded_up: Set[int] = set()
+        self._forwarded_down: Dict[str, Set[int]] = {}
+        self._round_in_progress = False  # meaningful on the ring leader
+        self._pending_requests: List[NodeId] = []  # leader-side round requests
+        self._signalled = False  # this node has asked its leader for a round
+        self._pending_token: Optional[_PendingToken] = None
+        self._ring_view: List[NodeId] = []
+        self.crashed = False  # set by the cluster; a crashed node does nothing
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def engine(self) -> SimulationEngine:
+        return self.cluster.engine
+
+    @property
+    def transport(self) -> Transport:
+        return self.cluster.transport
+
+    @property
+    def metrics(self) -> MetricRegistry:
+        return self.cluster.metrics
+
+    def _send(self, destination: NodeId, msg_type: str, payload: Dict[str, object]) -> None:
+        self.transport.send(str(self.node_id), str(destination), msg_type, payload)
+
+    def ring_members(self) -> List[NodeId]:
+        if self._ring_view:
+            return list(self._ring_view)
+        ring = self.cluster.hierarchy.ring_of(self.node_id)
+        self._ring_view = list(ring.members)
+        return list(self._ring_view)
+
+    # ------------------------------------------------------------------
+    # local captures (called by the cluster for APs)
+    # ------------------------------------------------------------------
+
+    def capture(self, op: TokenOperation) -> None:
+        """Insert a locally captured membership change and request a round."""
+        if self.crashed or op.sequence in self._seen_ops:
+            return
+        self._seen_ops.add(op.sequence)
+        self.state.mq.insert(op, sender=self.node_id, now=self.engine.now)
+        self.metrics.counter(f"protocol.capture.{op.op_type.value}").increment()
+        self._request_round_soon()
+
+    def _request_round_soon(self) -> None:
+        if self._signalled or self.state.mq.is_empty:
+            return
+        self._signalled = True
+
+        def fire(_engine: SimulationEngine) -> None:
+            self._signalled = False
+            if self.crashed or self.state.mq.is_empty:
+                return
+            leader = self.state.leader
+            if leader is None:
+                return
+            if leader == self.node_id:
+                self._handle_work_signal(self.node_id)
+            else:
+                self._send(leader, MSG_WORK_SIGNAL, {})
+                self._arm_signal_timer()
+
+        self.engine.schedule(self.config.aggregation_delay, fire, label="rgb.work-signal")
+
+    def _arm_signal_timer(self) -> None:
+        """Leader-liveness fallback.
+
+        If the ring leader never answers work signals (it may have crashed
+        while the ring was otherwise idle, so no token round will notice), the
+        requesting node re-signals a few times and then excludes the leader
+        from its local ring view and re-elects deterministically.
+        """
+        self._signal_attempts = getattr(self, "_signal_attempts", 0) + 1
+        attempts = self._signal_attempts
+
+        def expire(_engine: SimulationEngine) -> None:
+            if self.crashed or self.state.mq.is_empty:
+                self._signal_attempts = 0
+                return
+            if attempts != getattr(self, "_signal_attempts", 0):
+                return  # superseded by a later signal
+            if attempts <= self.config.token_retry_limit:
+                self._request_round_soon()
+                return
+            # Declare the leader faulty and take over deterministically.
+            old_leader = self.state.leader
+            view = [n for n in self.ring_members() if n != old_leader]
+            if old_leader is not None and self.node_id != old_leader:
+                self.cluster.note_entity_failure(old_leader, detector=self.node_id)
+                for op in self.cluster.build_failure_operations(old_leader, observer=self.node_id):
+                    if op.sequence not in self._seen_ops:
+                        self._seen_ops.add(op.sequence)
+                        self.state.mq.insert(op, sender=self.node_id, now=self.engine.now)
+            if view:
+                self._ring_view = view
+                new_leader = min(view, key=lambda n: n.value)
+                self.state.leader = new_leader
+                idx = view.index(self.node_id) if self.node_id in view else 0
+                self.state.next_node = view[(idx + 1) % len(view)]
+                self.state.previous = view[(idx - 1) % len(view)]
+            self._signal_attempts = 0
+            self._request_round_soon()
+
+        # The wait scales with ring size: a busy ring may legitimately queue a
+        # full round per member ahead of this node's request.
+        wait = self.config.token_timeout * (3.0 + 2.0 * len(self.ring_members()))
+        self.engine.schedule(wait, expire, label="rgb.signal-timeout")
+
+    # ------------------------------------------------------------------
+    # heartbeat rounds (perpetual token circulation approximation)
+    # ------------------------------------------------------------------
+
+    def schedule_heartbeat(self) -> None:
+        """Periodically start an empty round when this node leads an idle ring.
+
+        The paper's token circulates around each ring perpetually, which is
+        what detects crashed entities in rings with no membership traffic.
+        With ``heartbeat_interval`` configured, the ring leader injects an
+        empty round at that cadence whenever no round is in progress.
+        """
+        interval = self.config.heartbeat_interval
+        if interval is None:
+            return
+
+        def beat(_engine: SimulationEngine) -> None:
+            if self.crashed:
+                return
+            if self.state.leader == self.node_id and not self._round_in_progress:
+                self.metrics.counter("protocol.heartbeat_rounds").increment()
+                self._handle_work_signal(self.node_id)
+            self.engine.schedule(interval, beat, label="rgb.heartbeat")
+
+        # Stagger the first beat by a node-dependent offset so rings don't all
+        # fire at the same instant.
+        offset = (abs(hash(self.node_id.value)) % 1000) / 1000.0 * interval
+        self.engine.schedule(interval + offset, beat, label="rgb.heartbeat")
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        if self.crashed:
+            return
+        handler = {
+            MSG_MQ_INSERT: self._on_mq_insert,
+            MSG_WORK_SIGNAL: self._on_work_signal,
+            MSG_ROUND_GRANT: self._on_round_grant,
+            MSG_ROUND_COMPLETE: self._on_round_complete,
+            MSG_TOKEN: self._on_token,
+            MSG_TOKEN_ACK: self._on_token_ack,
+            MSG_HOLDER_ACK: self._on_holder_ack,
+        }.get(message.msg_type)
+        if handler is None:
+            self.metrics.counter("protocol.unknown_message").increment()
+            return
+        handler(message)
+
+    # -- notifications landing in the MQ --------------------------------------
+
+    def _on_mq_insert(self, message: Message) -> None:
+        ops = [_decode_op(d) for d in message.payload.get("operations", [])]  # type: ignore[union-attr]
+        fresh = [op for op in ops if op.sequence not in self._seen_ops]
+        if not fresh:
+            return
+        sender = NodeId(message.source)
+        for op in fresh:
+            self._seen_ops.add(op.sequence)
+            self.state.mq.insert(op, sender=sender, now=self.engine.now)
+        self.metrics.counter("protocol.notifications_received").increment()
+        self._request_round_soon()
+
+    def _on_holder_ack(self, message: Message) -> None:
+        self.metrics.counter("protocol.holder_acks_received").increment()
+
+    # -- leader-side round arbitration -------------------------------------------
+
+    def _on_work_signal(self, message: Message) -> None:
+        self._handle_work_signal(NodeId(message.source))
+
+    def _handle_work_signal(self, requester: NodeId) -> None:
+        if requester not in self._pending_requests:
+            self._pending_requests.append(requester)
+        self._maybe_grant()
+
+    def _maybe_grant(self) -> None:
+        if self._round_in_progress or not self._pending_requests:
+            return
+        requester = self._pending_requests.pop(0)
+        self._round_in_progress = True
+        if requester == self.node_id:
+            self._start_round_as_holder()
+        else:
+            self._send(requester, MSG_ROUND_GRANT, {})
+
+    def _on_round_grant(self, message: Message) -> None:
+        # Evidence the leader is alive: reset the leader-liveness fallback.
+        self._signal_attempts = 0
+        self._start_round_as_holder()
+
+    def _on_round_complete(self, message: Message) -> None:
+        self._round_in_progress = False
+        self._maybe_grant()
+
+    # -- holder-side round execution ----------------------------------------------
+
+    def _start_round_as_holder(self) -> None:
+        entries = self.state.mq.drain_entries()
+        operations = [e.operation for e in entries]
+        child_senders = [
+            str(e.sender)
+            for e in entries
+            if e.sender != self.node_id and e.sender not in self.ring_members()
+        ]
+        self.metrics.counter("protocol.rounds_started").increment()
+        payload: Dict[str, object] = {
+            "holder": str(self.node_id),
+            "operations": [_encode_op(op) for op in operations],
+            "ring_view": [str(n) for n in self.ring_members()],
+            "child_senders": child_senders,
+        }
+        # The holder executes the operations itself before forwarding the token.
+        self._execute_token_locally(payload)
+        self._forward_token(payload)
+
+    def _finish_round(self, payload: Dict[str, object]) -> None:
+        """The token has returned to the holder: acknowledge and release the ring."""
+        self.metrics.counter("protocol.rounds_completed").increment()
+        if self.config.holder_ack_enabled:
+            for sender in dict.fromkeys(payload.get("child_senders", [])):  # type: ignore[union-attr]
+                self._send(NodeId(str(sender)), MSG_HOLDER_ACK, {})
+        leader = self.state.leader
+        if leader is not None and leader != self.node_id:
+            self._send(leader, MSG_ROUND_COMPLETE, {})
+        else:
+            self._round_in_progress = False
+            self._maybe_grant()
+        # More work may have arrived while the round was circulating.
+        if not self.state.mq.is_empty:
+            self._request_round_soon()
+
+    # -- token circulation -------------------------------------------------------------
+
+    def _on_token(self, message: Message) -> None:
+        payload = dict(message.payload)
+        # A circulating token is evidence the ring (and its leader-arbitrated
+        # round scheduling) is alive: reset the leader-liveness fallback.
+        self._signal_attempts = 0
+        self._send(NodeId(message.source), MSG_TOKEN_ACK, {"holder": payload.get("holder")})
+        self._adopt_ring_view(payload)
+        holder = NodeId(str(payload["holder"]))
+        if holder == self.node_id:
+            self._finish_round(payload)
+            return
+        self._execute_token_locally(payload)
+        self._forward_token(payload)
+
+    def _on_token_ack(self, message: Message) -> None:
+        if self._pending_token is None:
+            return
+        if NodeId(message.source) != self._pending_token.destination:
+            return
+        if self._pending_token.timer is not None:
+            self._pending_token.timer.cancel()
+        self._pending_token = None
+
+    def _adopt_ring_view(self, payload: Dict[str, object]) -> None:
+        view = [NodeId(str(n)) for n in payload.get("ring_view", [])]
+        if not view or self.node_id not in view:
+            return
+        self._ring_view = view
+        idx = view.index(self.node_id)
+        self.state.next_node = view[(idx + 1) % len(view)]
+        self.state.previous = view[(idx - 1) % len(view)]
+        new_leader = min(view, key=lambda n: n.value)
+        if self.state.leader not in view:
+            self.state.leader = new_leader
+        self.state.ring_ok = True
+
+    def _execute_token_locally(self, payload: Dict[str, object]) -> None:
+        operations = [_decode_op(d) for d in payload.get("operations", [])]  # type: ignore[union-attr]
+        for op in operations:
+            self._seen_ops.add(op.sequence)
+        events = self.cluster.apply_operations(self.node_id, operations)
+        self.state.ring_ok = True
+        # Figure 3 lines 10-13: the ring leader forwards up to its parent.
+        if (
+            operations
+            and self.node_id == self.state.leader
+            and self.state.parent_ok
+            and self.state.parent is not None
+        ):
+            fresh = [op for op in operations if op.sequence not in self._forwarded_up]
+            if fresh:
+                self._forwarded_up.update(op.sequence for op in fresh)
+                self._send(
+                    self.state.parent,
+                    MSG_MQ_INSERT,
+                    {"operations": [_encode_op(op) for op in fresh]},
+                )
+                self.metrics.counter("protocol.notify_parent").increment()
+        # Figure 3 lines 14-16: notify child rings.
+        if operations and self.config.disseminate_downward and self.state.children:
+            for child in list(self.state.children):
+                forwarded = self._forwarded_down.setdefault(str(child), set())
+                fresh = [op for op in operations if op.sequence not in forwarded]
+                if not fresh:
+                    continue
+                forwarded.update(op.sequence for op in fresh)
+                self._send(
+                    child,
+                    MSG_MQ_INSERT,
+                    {"operations": [_encode_op(op) for op in fresh]},
+                )
+                self.metrics.counter("protocol.notify_child").increment()
+        del events  # events are published by the cluster's event bus
+
+    def _forward_token(self, payload: Dict[str, object]) -> None:
+        """Send the token to the next node, with timeout-driven failure detection."""
+        view = [NodeId(str(n)) for n in payload.get("ring_view", [])]
+        if self.node_id not in view or len(view) == 1:
+            # Solo ring: the round is trivially complete.
+            if str(payload.get("holder")) == str(self.node_id):
+                self._finish_round(payload)
+            return
+        idx = view.index(self.node_id)
+        destination = view[(idx + 1) % len(view)]
+        self._transmit_token(destination, payload)
+
+    def _transmit_token(self, destination: NodeId, payload: Dict[str, object]) -> None:
+        self.metrics.counter("protocol.token_hops").increment()
+        pending = _PendingToken(destination=destination, payload=payload, attempts=1)
+        self._pending_token = pending
+        self._send(destination, MSG_TOKEN, payload)
+        self._arm_token_timer(pending)
+
+    def _arm_token_timer(self, pending: _PendingToken) -> None:
+        def expire(_engine: SimulationEngine) -> None:
+            if self.crashed or self._pending_token is not pending:
+                return
+            if pending.attempts <= self.config.token_retry_limit:
+                pending.attempts += 1
+                self.metrics.counter("protocol.token_retransmissions").increment()
+                self._send(pending.destination, MSG_TOKEN, pending.payload)
+                self._arm_token_timer(pending)
+                return
+            # The successor is declared faulty: local repair.
+            self._pending_token = None
+            self._repair_successor(pending)
+
+        pending.timer = self.engine.schedule(
+            self.config.token_timeout, expire, label="rgb.token-timeout"
+        )
+
+    def _repair_successor(self, pending: _PendingToken) -> None:
+        failed = pending.destination
+        payload = dict(pending.payload)
+        view = [NodeId(str(n)) for n in payload.get("ring_view", [])]
+        if failed in view:
+            view.remove(failed)
+        payload["ring_view"] = [str(n) for n in view]
+        self.metrics.counter("protocol.ring_repairs").increment()
+        self.cluster.note_entity_failure(failed, detector=self.node_id)
+        self._adopt_ring_view(payload)
+        # Report the failure (and any members lost with it) in the next round.
+        failure_ops = self.cluster.build_failure_operations(failed, observer=self.node_id)
+        for op in failure_ops:
+            self.capture(op)
+        holder = NodeId(str(payload["holder"]))
+        if not view or view == [self.node_id] or (len(view) == 1 and view[0] == holder):
+            if holder == self.node_id:
+                self._finish_round(payload)
+            return
+        if failed == holder:
+            # The round's holder died; the detecting node closes the round itself.
+            payload["holder"] = str(self.node_id)
+            self._finish_round(payload)
+            return
+        idx = view.index(self.node_id)
+        destination = view[(idx + 1) % len(view)]
+        if destination == self.node_id:
+            self._finish_round(payload)
+            return
+        self._transmit_token(destination, payload)
+
+
+class RGBProtocolCluster:
+    """All protocol nodes of one group plus the shared substrate.
+
+    The cluster owns the canonical hierarchy (used for coverage scoping and
+    for wiring initial pointers), registers every entity with the transport
+    and offers the application-facing operations: join, leave, handoff and
+    fail a mobile host; crash an entity; read membership views.
+    """
+
+    def __init__(
+        self,
+        hierarchy: RingHierarchy,
+        engine: SimulationEngine,
+        network: Network,
+        transport: Transport,
+        config: Optional[ProtocolConfig] = None,
+        metrics: Optional[MetricRegistry] = None,
+        event_bus: Optional[MembershipEventBus] = None,
+        trace: Optional[TraceRecorder] = None,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.engine = engine
+        self.network = network
+        self.transport = transport
+        self.config = config if config is not None else ProtocolConfig()
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.event_bus = event_bus if event_bus is not None else MembershipEventBus()
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self._op_sequence = itertools.count(1)
+        self._member_epochs: Dict[str, int] = {}
+        self._failed_entities: Set[NodeId] = set()
+        self._coverage_cache: Dict[str, Set[str]] = {}
+
+        states = hierarchy.build_entity_states()
+        self.nodes: Dict[NodeId, RGBProtocolNode] = {}
+        for node_id, state in states.items():
+            state.mq.aggregate = self.config.aggregate_mq
+            node = RGBProtocolNode(state, self)
+            self.nodes[node_id] = node
+            self.transport.register(str(node_id), node.on_message)
+        if self.config.heartbeat_interval is not None:
+            for node in self.nodes.values():
+                node.schedule_heartbeat()
+
+    # ------------------------------------------------------------------
+    # membership operations (application-facing)
+    # ------------------------------------------------------------------
+
+    def _next_epoch(self, guid: str) -> int:
+        epoch = self._member_epochs.get(guid, 0) + 1
+        self._member_epochs[guid] = epoch
+        return epoch
+
+    def _node(self, node_id: "NodeId | str") -> RGBProtocolNode:
+        key = coerce_node(node_id)
+        try:
+            return self.nodes[key]
+        except KeyError:
+            raise KeyError(f"unknown protocol node {node_id}") from None
+
+    def join_member(self, ap: "NodeId | str", guid: "GloballyUniqueId | str") -> MemberInfo:
+        ap_id = coerce_node(ap)
+        guid_id = coerce_guid(guid)
+        member = MemberInfo(
+            guid=guid_id,
+            group=self.hierarchy.group,
+            ap=ap_id,
+            luid=make_luid(ap_id, guid_id, self._next_epoch(str(guid_id))),
+            status=MemberStatus.OPERATIONAL,
+        )
+        op = TokenOperation(
+            op_type=TokenOperationType.MEMBER_JOIN,
+            origin=ap_id,
+            member=member,
+            sequence=next(self._op_sequence),
+        )
+        self._node(ap_id).capture(op)
+        return member
+
+    def leave_member(self, ap: "NodeId | str", guid: "GloballyUniqueId | str") -> None:
+        ap_id = coerce_node(ap)
+        guid_id = coerce_guid(guid)
+        record = self._current_record(ap_id, guid_id)
+        op = TokenOperation(
+            op_type=TokenOperationType.MEMBER_LEAVE,
+            origin=ap_id,
+            member=record.with_status(MemberStatus.LEFT),
+            sequence=next(self._op_sequence),
+        )
+        self._node(ap_id).capture(op)
+
+    def fail_member(self, ap: "NodeId | str", guid: "GloballyUniqueId | str") -> None:
+        ap_id = coerce_node(ap)
+        guid_id = coerce_guid(guid)
+        record = self._current_record(ap_id, guid_id)
+        op = TokenOperation(
+            op_type=TokenOperationType.MEMBER_FAILURE,
+            origin=ap_id,
+            member=record.with_status(MemberStatus.FAILED),
+            sequence=next(self._op_sequence),
+        )
+        self._node(ap_id).capture(op)
+
+    def handoff_member(
+        self,
+        guid: "GloballyUniqueId | str",
+        old_ap: "NodeId | str",
+        new_ap: "NodeId | str",
+    ) -> MemberInfo:
+        old_id = coerce_node(old_ap)
+        new_id = coerce_node(new_ap)
+        guid_id = coerce_guid(guid)
+        record = self._current_record(old_id, guid_id)
+        moved = record.handed_off_to(new_id, self._next_epoch(str(guid_id)))
+        if old_id in self.nodes:
+            self.nodes[old_id].state.unregister_local_member(str(guid_id))
+        op = TokenOperation(
+            op_type=TokenOperationType.MEMBER_HANDOFF,
+            origin=new_id,
+            member=moved,
+            previous_ap=old_id,
+            sequence=next(self._op_sequence),
+        )
+        self._node(new_id).capture(op)
+        return moved
+
+    def _current_record(self, ap: NodeId, guid: GloballyUniqueId) -> MemberInfo:
+        if ap in self.nodes:
+            record = self.nodes[ap].state.local_members.get(guid)
+            if record is not None:
+                return record
+            record = self.nodes[ap].state.ring_members.get(guid)
+            if record is not None:
+                return record
+        top_leader = self.hierarchy.topmost_ring().leader
+        if top_leader is not None and top_leader in self.nodes:
+            record = self.nodes[top_leader].state.ring_members.get(guid)
+            if record is not None:
+                return record
+        return MemberInfo(
+            guid=guid,
+            group=self.hierarchy.group,
+            ap=ap,
+            luid=make_luid(ap, guid, self._next_epoch(str(guid))),
+            status=MemberStatus.OPERATIONAL,
+        )
+
+    # ------------------------------------------------------------------
+    # entity failure
+    # ------------------------------------------------------------------
+
+    def crash_entity(self, node_id: "NodeId | str") -> None:
+        """Crash a network entity at the network level.
+
+        Detection happens through token timeouts at its ring neighbours the
+        next time a round runs in that ring (heartbeat rounds guarantee one
+        when ``heartbeat_interval`` is configured).
+        """
+        key = coerce_node(node_id)
+        self.network.set_node_state(str(key), NodeState.FAILED)
+        self._failed_entities.add(key)
+        if key in self.nodes:
+            self.nodes[key].crashed = True
+        self.metrics.counter("protocol.entity_crashes").increment()
+
+    def note_entity_failure(self, node_id: NodeId, detector: NodeId) -> None:
+        """Called by a node that declared ``node_id`` faulty via timeouts."""
+        self._failed_entities.add(node_id)
+        if self.hierarchy.has_node(node_id):
+            ring = self.hierarchy.ring_of(node_id)
+            was_leader = ring.remove_member(node_id)
+            if was_leader:
+                ring.elect_leader()
+            self.hierarchy.ring_of_node.pop(node_id, None)
+            orphans = self.hierarchy.child_rings.pop(node_id, [])
+            new_parent = ring.leader
+            if new_parent is not None:
+                for ring_id in orphans:
+                    self.hierarchy.parent_node[ring_id] = new_parent
+                    self.hierarchy.child_rings.setdefault(new_parent, []).append(ring_id)
+                    child_leader = self.hierarchy.ring(ring_id).leader
+                    if child_leader is not None and new_parent in self.nodes:
+                        self.nodes[new_parent].state.add_child(child_leader)
+                        if child_leader in self.nodes:
+                            self.nodes[child_leader].state.set_parent(new_parent)
+        self._coverage_cache.clear()
+        self.trace.record(self.engine.now, "repair", str(detector), f"excluded {node_id}")
+
+    def build_failure_operations(self, failed: NodeId, observer: NodeId) -> List[TokenOperation]:
+        """Operations reporting an entity failure and the members lost with it."""
+        ops: List[TokenOperation] = []
+        observer_state = self.nodes[observer].state
+        for member in observer_state.ring_members.members_at(failed):
+            ops.append(
+                TokenOperation(
+                    op_type=TokenOperationType.MEMBER_FAILURE,
+                    origin=observer,
+                    member=member.with_status(MemberStatus.FAILED),
+                    sequence=next(self._op_sequence),
+                )
+            )
+        ops.append(
+            TokenOperation(
+                op_type=TokenOperationType.NE_FAILURE,
+                origin=observer,
+                entity=failed,
+                sequence=next(self._op_sequence),
+            )
+        )
+        return ops
+
+    # ------------------------------------------------------------------
+    # operation application (shared with the structural semantics)
+    # ------------------------------------------------------------------
+
+    def _coverage(self, ring_id: str) -> Set[str]:
+        cached = self._coverage_cache.get(ring_id)
+        if cached is not None:
+            return cached
+        ring = self.hierarchy.ring(ring_id)
+        members = set(ring.members)
+        covered: Set[str] = set()
+        for ap in self.hierarchy.access_proxies():
+            if ap in members:
+                covered.add(ap.value)
+                continue
+            for ancestor in self.hierarchy.ancestry(ap):
+                if ancestor in members:
+                    covered.add(ap.value)
+                    break
+        self._coverage_cache[ring_id] = covered
+        return covered
+
+    def apply_operations(
+        self, node_id: NodeId, operations: Sequence[TokenOperation]
+    ) -> List[object]:
+        """Apply token operations to one entity's member lists."""
+        if not self.hierarchy.has_node(node_id):
+            return []
+        ring = self.hierarchy.ring_of(node_id)
+        entity = self.nodes[node_id].state
+        coverage = self._coverage(ring.ring_id)
+        bottom_tier = self.hierarchy.bottom_tier()
+        events: List[object] = []
+        now = self.engine.now
+        for op in operations:
+            if not op.op_type.concerns_member or op.member is None:
+                continue
+            member = op.member
+            in_coverage = member.ap.value in coverage
+            if ring.tier == bottom_tier:
+                if member.ap == node_id and op.op_type in (
+                    TokenOperationType.MEMBER_JOIN,
+                    TokenOperationType.MEMBER_HANDOFF,
+                ):
+                    entity.local_members.add(member)
+                elif str(member.guid) in entity.local_members.guids() and (
+                    member.ap != node_id
+                    or op.op_type
+                    in (TokenOperationType.MEMBER_LEAVE, TokenOperationType.MEMBER_FAILURE)
+                ):
+                    entity.local_members.remove(member.guid)
+                if member.ap != node_id and member.ap in ring.members:
+                    if op.op_type in (
+                        TokenOperationType.MEMBER_JOIN,
+                        TokenOperationType.MEMBER_HANDOFF,
+                    ):
+                        entity.neighbor_members.add(member)
+                    else:
+                        entity.neighbor_members.remove(member.guid)
+                elif (
+                    str(member.guid) in entity.neighbor_members.guids()
+                    and member.ap not in ring.members
+                ):
+                    entity.neighbor_members.remove(member.guid)
+            if op.op_type in (TokenOperationType.MEMBER_JOIN, TokenOperationType.MEMBER_HANDOFF):
+                if in_coverage:
+                    event = entity.ring_members.apply(op, now)
+                else:
+                    event = None
+                    if str(member.guid) in entity.ring_members.guids():
+                        entity.ring_members.remove(member.guid)
+            else:
+                event = entity.ring_members.apply(op, now)
+            if event is not None:
+                events.append(event)
+                self.event_bus.publish(event)
+        return events
+
+    # ------------------------------------------------------------------
+    # reading state
+    # ------------------------------------------------------------------
+
+    def entity_state(self, node_id: "NodeId | str") -> NetworkEntityState:
+        return self._node(node_id).state
+
+    def entity(self, node_id: "NodeId | str") -> NetworkEntityState:
+        """Alias of :meth:`entity_state` (shared interface with OneRoundEngine)."""
+        return self._node(node_id).state
+
+    def global_membership(self) -> List[MemberInfo]:
+        leader = self.hierarchy.topmost_ring().leader
+        if leader is None:
+            raise RuntimeError("topmost ring has no leader")
+        return self.nodes[leader].state.ring_members.members()
+
+    def global_guids(self) -> List[str]:
+        return [str(m.guid) for m in self.global_membership()]
+
+    def run_until_quiescent(self, max_time: Optional[float] = None) -> int:
+        """Convenience: drive the simulation engine until no events remain."""
+        return self.engine.run(until=max_time)

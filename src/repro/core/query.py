@@ -1,0 +1,215 @@
+"""The Membership-Query algorithm (paper Section 4.4).
+
+The paper distinguishes three membership maintenance schemes:
+
+* **TMS** (Topmost Membership Scheme) — only the topmost tier maintains the
+  global membership; a query finds any network entity, which forwards it to
+  the topmost ring, and the answer comes back in a handful of messages but
+  the topmost entities pay the storage and update cost.
+* **BMS** (Bottommost Membership Scheme) — only the bottommost tier (the
+  access-proxy ring leaders) maintains local membership; a query fans out to
+  every bottommost ring leader and the answers are merged, which is cheap to
+  maintain but expensive to query.
+* **IMS** (Intermediate Membership Schemes) — membership is maintained at an
+  intermediate tier; queries fan out only to that tier's ring leaders.
+
+The query service works against either protocol engine (structural or
+message-passing) through the small :class:`MembershipStore` protocol: it only
+needs per-entity ring member views and the hierarchy structure.  Query cost is
+reported in logical message hops so the ablation benchmark can compare the
+schemes the way the paper discusses them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence
+
+from repro.core.hierarchy import RingHierarchy
+from repro.core.identifiers import NodeId, coerce_node
+from repro.core.member import MemberInfo
+from repro.core.membership import MembershipView
+
+
+class MembershipScheme(enum.Enum):
+    """Where membership is maintained / queried from."""
+
+    TMS = "topmost"
+    BMS = "bottommost"
+    IMS = "intermediate"
+
+
+class MembershipStore(Protocol):
+    """What the query service needs from a protocol engine."""
+
+    hierarchy: RingHierarchy
+
+    def entity(self, node: "NodeId | str"):  # pragma: no cover - protocol signature
+        ...
+
+
+@dataclass
+class QueryResult:
+    """Answer to one membership query."""
+
+    scheme: MembershipScheme
+    members: List[MemberInfo]
+    message_hops: int
+    entities_contacted: List[NodeId] = field(default_factory=list)
+    answered_by_tier: Optional[int] = None
+
+    @property
+    def guids(self) -> List[str]:
+        return sorted(str(m.guid) for m in self.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+class MembershipQueryService:
+    """Answers membership queries against a protocol engine's state.
+
+    Parameters
+    ----------
+    store:
+        A protocol engine exposing ``hierarchy`` and ``entity(node)`` with a
+        ``ring_members`` view per entity (both :class:`OneRoundEngine` and
+        :class:`RGBProtocolCluster` qualify — the latter via the adapter
+        below).
+    entry_point:
+        The network entity the requesting application first contacts
+        ("the requesting application tries to find some NE with GID").
+        Defaults to a bottom-tier entity, the worst case for TMS.
+    """
+
+    def __init__(self, store: MembershipStore, entry_point: Optional["NodeId | str"] = None) -> None:
+        self.store = store
+        self.hierarchy = store.hierarchy
+        if entry_point is None:
+            self.entry_point = self.hierarchy.access_proxies()[0]
+        else:
+            self.entry_point = coerce_node(entry_point)
+            if not self.hierarchy.has_node(self.entry_point):
+                raise ValueError(f"entry point {entry_point} is not part of the hierarchy")
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _view_of(self, node: NodeId) -> MembershipView:
+        return self.store.entity(node).ring_members
+
+    def _hops_to_tier(self, tier: int) -> int:
+        """Message hops from the entry point up (or down) to ``tier``."""
+        entry_tier = self.hierarchy.ring_of(self.entry_point).tier
+        return abs(tier - entry_tier)
+
+    # -- the three schemes -------------------------------------------------------------
+
+    def query(self, scheme: MembershipScheme, intermediate_tier: Optional[int] = None) -> QueryResult:
+        """Run one global membership query under ``scheme``."""
+        if scheme is MembershipScheme.TMS:
+            return self.query_topmost()
+        if scheme is MembershipScheme.BMS:
+            return self.query_bottommost()
+        return self.query_intermediate(intermediate_tier)
+
+    def query_topmost(self) -> QueryResult:
+        """TMS: ask the topmost ring leader for the global view."""
+        top_ring = self.hierarchy.topmost_ring()
+        leader = top_ring.leader
+        if leader is None:
+            raise RuntimeError("topmost ring has no leader")
+        # Request travels up the hierarchy to the topmost tier, answer comes back.
+        hops = 2 * self._hops_to_tier(top_ring.tier)
+        members = list(self._view_of(leader).members())
+        return QueryResult(
+            scheme=MembershipScheme.TMS,
+            members=members,
+            message_hops=hops if hops > 0 else 2,
+            entities_contacted=[leader],
+            answered_by_tier=top_ring.tier,
+        )
+
+    def query_bottommost(self) -> QueryResult:
+        """BMS: fan out to every bottommost ring leader and merge the answers."""
+        bottom = self.hierarchy.bottom_tier()
+        leaders = [
+            ring.leader for ring in self.hierarchy.rings_in_tier(bottom) if ring.leader is not None
+        ]
+        merged = MembershipView("query", self.entry_point, self.hierarchy.group)
+        contacted: List[NodeId] = []
+        hops = 0
+        for leader in leaders:
+            contacted.append(leader)
+            # Request out to the leader and the local answer back.
+            hops += 2 * max(1, self._hops_to_tier(bottom) + 1)
+            for member in self._view_of(leader).members():
+                merged.add(member)
+        return QueryResult(
+            scheme=MembershipScheme.BMS,
+            members=merged.members(),
+            message_hops=hops,
+            entities_contacted=contacted,
+            answered_by_tier=bottom,
+        )
+
+    def query_intermediate(self, tier: Optional[int] = None) -> QueryResult:
+        """IMS: fan out to the ring leaders of an intermediate tier."""
+        tiers = self.hierarchy.tiers()
+        if len(tiers) < 3 and tier is None:
+            # No strict intermediate tier exists; fall back to the tier below the top.
+            tier = tiers[-1] if len(tiers) == 1 else tiers[-2]
+        if tier is None:
+            tier = tiers[len(tiers) // 2]
+        if tier not in tiers:
+            raise ValueError(f"tier {tier} does not exist in this hierarchy (tiers: {tiers})")
+        leaders = [
+            ring.leader for ring in self.hierarchy.rings_in_tier(tier) if ring.leader is not None
+        ]
+        merged = MembershipView("query", self.entry_point, self.hierarchy.group)
+        contacted: List[NodeId] = []
+        hops = 0
+        for leader in leaders:
+            contacted.append(leader)
+            hops += 2 * max(1, self._hops_to_tier(tier))
+            for member in self._view_of(leader).members():
+                merged.add(member)
+        return QueryResult(
+            scheme=MembershipScheme.IMS,
+            members=merged.members(),
+            message_hops=hops,
+            entities_contacted=contacted,
+            answered_by_tier=tier,
+        )
+
+    # -- targeted lookups -----------------------------------------------------------------
+
+    def locate_member(self, guid: str) -> Optional[MemberInfo]:
+        """Find the current record of one member (TMS-style lookup)."""
+        top_leader = self.hierarchy.topmost_ring().leader
+        if top_leader is None:
+            return None
+        return self._view_of(top_leader).get(guid)
+
+    def members_under(self, node: "NodeId | str") -> List[MemberInfo]:
+        """Members within the coverage area of one network entity's ring."""
+        key = coerce_node(node)
+        return list(self._view_of(key).members())
+
+    def maintenance_cost(self, scheme: MembershipScheme) -> Dict[str, int]:
+        """Storage cost of a scheme: entities holding views and total records.
+
+        TMS stores the global view at every topmost-ring entity; BMS stores
+        local views at every bottommost entity; IMS at the chosen tier.  This
+        is the space side of the trade-off Section 4.4 describes.
+        """
+        if scheme is MembershipScheme.TMS:
+            tier = self.hierarchy.top_tier()
+        elif scheme is MembershipScheme.BMS:
+            tier = self.hierarchy.bottom_tier()
+        else:
+            tiers = self.hierarchy.tiers()
+            tier = tiers[len(tiers) // 2]
+        entities = [n for ring in self.hierarchy.rings_in_tier(tier) for n in ring.members]
+        records = sum(len(self._view_of(n)) for n in entities)
+        return {"tier": tier, "entities": len(entities), "records": records}

@@ -1,0 +1,202 @@
+"""Logical rings (paper Section 4.1).
+
+A logical ring is an ordered cycle of network entities of the same tier.  The
+ring knows its members in ring order, its leader and the tier it belongs to.
+Local repair (Section 5.2: "any single node fault in a logical ring can be
+detected quickly ... and be locally repaired by excluding the faulty node from
+the ring") is a :meth:`LogicalRing.remove_member` that splices the previous
+and next neighbours of the excluded node together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.identifiers import NodeId
+
+
+class RingError(RuntimeError):
+    """Raised for invalid ring operations (unknown member, empty ring, ...)."""
+
+
+@dataclass
+class LogicalRing:
+    """An ordered ring of network entities.
+
+    Parameters
+    ----------
+    ring_id:
+        Unique identity of the ring within its hierarchy.
+    tier:
+        Tier index (larger is higher; the topmost ring of Figure 2 is the
+        border-router tier).
+    members:
+        Initial members in ring order.  Token circulation follows this order:
+        ``members[i]`` hands the token to ``members[(i+1) % len(members)]``.
+    leader:
+        The ring leader.  Defaults to the first member; the deterministic
+        re-election rule after a leader fault is "smallest node id", which
+        every surviving member can compute locally from its ring view.
+    """
+
+    ring_id: str
+    tier: int
+    members: List[NodeId] = field(default_factory=list)
+    leader: Optional[NodeId] = None
+
+    def __post_init__(self) -> None:
+        if len(set(self.members)) != len(self.members):
+            raise RingError(f"ring {self.ring_id!r} has duplicate members")
+        if self.members and self.leader is None:
+            self.leader = self.members[0]
+        if self.leader is not None and self.leader not in self.members:
+            raise RingError(
+                f"leader {self.leader} of ring {self.ring_id!r} is not a ring member"
+            )
+
+    # -- basic accessors ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self.members
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.members
+
+    def members_in_order(self) -> List[NodeId]:
+        """Members in token-circulation order starting from the stored order."""
+        return list(self.members)
+
+    def members_from(self, start: NodeId) -> List[NodeId]:
+        """Members in circulation order beginning at ``start``."""
+        idx = self._index_of(start)
+        return self.members[idx:] + self.members[:idx]
+
+    def _index_of(self, node: NodeId) -> int:
+        try:
+            return self.members.index(node)
+        except ValueError:
+            raise RingError(f"node {node} is not a member of ring {self.ring_id!r}") from None
+
+    def successor(self, node: NodeId) -> NodeId:
+        """The next node after ``node`` in circulation order."""
+        if len(self.members) == 0:
+            raise RingError(f"ring {self.ring_id!r} is empty")
+        idx = self._index_of(node)
+        return self.members[(idx + 1) % len(self.members)]
+
+    def predecessor(self, node: NodeId) -> NodeId:
+        """The node before ``node`` in circulation order."""
+        if len(self.members) == 0:
+            raise RingError(f"ring {self.ring_id!r} is empty")
+        idx = self._index_of(node)
+        return self.members[(idx - 1) % len(self.members)]
+
+    # -- membership changes ---------------------------------------------------------
+
+    def insert_member(self, node: NodeId, after: Optional[NodeId] = None) -> None:
+        """Insert ``node`` into the ring (NE-Join).
+
+        With ``after`` the node is spliced immediately after that member,
+        which is what happens when a new access proxy joins the ring of a
+        nearby proxy; otherwise it is appended at the end of the order.
+        """
+        if node in self.members:
+            raise RingError(f"node {node} is already a member of ring {self.ring_id!r}")
+        if after is None:
+            self.members.append(node)
+        else:
+            idx = self._index_of(after)
+            self.members.insert(idx + 1, node)
+        if self.leader is None:
+            self.leader = node
+
+    def remove_member(self, node: NodeId) -> bool:
+        """Exclude ``node`` from the ring (local repair / NE-Leave).
+
+        Returns True when the removed node was the leader, in which case the
+        caller must trigger leader re-election (:meth:`elect_leader`).
+        """
+        idx = self._index_of(node)
+        was_leader = self.leader == node
+        del self.members[idx]
+        if was_leader:
+            self.leader = None
+        return was_leader
+
+    def elect_leader(self) -> Optional[NodeId]:
+        """Deterministic leader election: the smallest surviving node id."""
+        if not self.members:
+            self.leader = None
+            return None
+        self.leader = min(self.members, key=lambda n: n.value)
+        return self.leader
+
+    # -- health / structure -------------------------------------------------------------
+
+    def edge_count(self) -> int:
+        """Number of logical edges a full token round traverses.
+
+        A ring of one node has zero edges (the token never leaves the node);
+        otherwise a round crosses exactly ``len(members)`` edges.
+        """
+        return 0 if len(self.members) <= 1 else len(self.members)
+
+    @staticmethod
+    def _live_values(operational: Iterable["NodeId | str"]) -> set:
+        return {n.value if isinstance(n, NodeId) else str(n) for n in operational}
+
+    def functions_well(self, operational: Iterable["NodeId | str"]) -> bool:
+        """Paper Section 5.2 ring-level Function-Well predicate.
+
+        A ring functions well when at most one of its members is faulty —
+        a single fault is detected by token retransmission and locally
+        repaired; two or more simultaneous faults partition the ring.
+        """
+        live = self._live_values(operational)
+        faulty = sum(1 for member in self.members if member.value not in live)
+        return faulty <= 1
+
+    def partition_count(self, operational: Iterable["NodeId | str"]) -> int:
+        """Number of contiguous alive segments the ring splits into.
+
+        With zero or one faulty member the ring stays one segment (one
+        partition).  With ``k >= 2`` faulty members the alive members split
+        into at most ``k`` contiguous arcs; empty arcs (adjacent faults) do
+        not count.
+        """
+        live = self._live_values(operational)
+        flags = [member.value in live for member in self.members]
+        if not flags:
+            return 0
+        if all(flags):
+            return 1
+        if not any(flags):
+            return 0
+        faulty_count = sum(1 for f in flags if not f)
+        if faulty_count == 1:
+            return 1
+        # Count alive segments in the circular order.
+        segments = 0
+        n = len(flags)
+        for i in range(n):
+            if flags[i] and not flags[(i - 1) % n]:
+                segments += 1
+        return segments
+
+    def validate(self) -> None:
+        """Internal consistency checks used by property tests."""
+        if len(set(self.members)) != len(self.members):
+            raise RingError(f"ring {self.ring_id!r} has duplicate members")
+        if self.leader is not None and self.leader not in self.members:
+            raise RingError(f"ring {self.ring_id!r} leader is not a member")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"LogicalRing({self.ring_id!r}, tier={self.tier}, "
+            f"size={len(self.members)}, leader={self.leader})"
+        )

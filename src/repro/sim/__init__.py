@@ -1,0 +1,56 @@
+"""Discrete-event simulation substrate for the RGB reproduction.
+
+The mobile-Internet testbed the paper assumes (wireless LANs, cellular and
+satellite access networks feeding autonomous systems interconnected by BGP
+border routers) is not available, so the protocol runs on this simulator
+instead.  The substrate provides:
+
+* :mod:`repro.sim.engine` — an event-driven scheduler with a virtual clock.
+* :mod:`repro.sim.transport` — message delivery between simulated nodes with
+  per-link latency distributions and loss.
+* :mod:`repro.sim.network` — the node/link graph the transport routes over.
+* :mod:`repro.sim.faults` — crash, transient-disconnect and link-fault
+  injection (the paper folds link faults into node faults; we support both).
+* :mod:`repro.sim.mobility` — handoff/attachment event generation for mobile
+  hosts.
+* :mod:`repro.sim.rng` / :mod:`repro.sim.stats` / :mod:`repro.sim.trace` —
+  deterministic randomness, metric collection and event tracing.
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.engine import Event, EventQueue, SimulationEngine
+from repro.sim.rng import RandomStreams
+from repro.sim.network import Link, Network, NetworkNode, NodeState
+from repro.sim.transport import Message, Transport, DeliveryReceipt
+from repro.sim.faults import FaultInjector, FaultKind, FaultEvent, FaultPlan
+from repro.sim.mobility import MobilityModel, HandoffEvent, AttachmentEvent
+from repro.sim.stats import Counter, Histogram, MetricRegistry, TimeSeries
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "VirtualClock",
+    "Event",
+    "EventQueue",
+    "SimulationEngine",
+    "RandomStreams",
+    "Link",
+    "Network",
+    "NetworkNode",
+    "NodeState",
+    "Message",
+    "Transport",
+    "DeliveryReceipt",
+    "FaultInjector",
+    "FaultKind",
+    "FaultEvent",
+    "FaultPlan",
+    "MobilityModel",
+    "HandoffEvent",
+    "AttachmentEvent",
+    "Counter",
+    "Histogram",
+    "MetricRegistry",
+    "TimeSeries",
+    "TraceEvent",
+    "TraceRecorder",
+]

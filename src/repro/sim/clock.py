@@ -1,0 +1,57 @@
+"""Virtual simulation clock.
+
+The clock is owned by the :class:`repro.sim.engine.SimulationEngine`; every
+component that needs the current simulation time holds a reference to the
+same :class:`VirtualClock` instance.  Time is a float measured in abstract
+"time units"; the default latency models in :mod:`repro.sim.network` treat one
+unit as one millisecond, but nothing in the engine depends on that
+interpretation.
+"""
+
+from __future__ import annotations
+
+
+class ClockError(RuntimeError):
+    """Raised when the clock is moved backwards."""
+
+
+class VirtualClock:
+    """A monotonically advancing virtual clock.
+
+    The clock only moves when the engine dispatches an event; user code reads
+    :attr:`now` and never advances it directly (the engine uses
+    :meth:`advance_to`).
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises :class:`ClockError` if ``timestamp`` is in the past; equal
+        timestamps are allowed (several events may share a dispatch time).
+        """
+        if timestamp < self._now:
+            raise ClockError(
+                f"cannot move clock backwards: now={self._now}, requested={timestamp}"
+            )
+        self._now = float(timestamp)
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock, used when an engine is reused between runs."""
+        if start < 0:
+            raise ValueError(f"clock cannot start at negative time, got {start}")
+        self._now = float(start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"VirtualClock(now={self._now:.6f})"

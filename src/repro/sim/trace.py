@@ -1,0 +1,128 @@
+"""Event tracing.
+
+The trace recorder captures a structured log of what happened during a run:
+message sends and deliveries, token hand-offs, membership events, faults and
+repairs.  Tests use traces to assert ordering properties ("the leader notified
+its parent only after the token completed the round"); examples use them to
+print a readable narrative of the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record."""
+
+    time: float
+    category: str
+    actor: str
+    description: str
+    details: Tuple[Tuple[str, Any], ...] = ()
+
+    def detail(self, key: str, default: Any = None) -> Any:
+        """Look up one ``details`` entry by key."""
+        for k, v in self.details:
+            if k == key:
+                return v
+        return default
+
+    def format(self) -> str:
+        """Human-readable one-line rendering."""
+        extra = " ".join(f"{k}={v}" for k, v in self.details)
+        base = f"[{self.time:10.3f}] {self.category:<12} {self.actor:<18} {self.description}"
+        return f"{base} {extra}".rstrip()
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records during a simulation run.
+
+    Recording can be disabled (``enabled=False``) for large benchmark runs
+    where the trace itself would dominate memory; the ``record`` call then
+    becomes a near no-op.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self._events: List[TraceEvent] = []
+        self._dropped = 0
+
+    def record(
+        self,
+        time: float,
+        category: str,
+        actor: str,
+        description: str,
+        **details: Any,
+    ) -> None:
+        """Append a trace record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self._events) >= self.capacity:
+            self._dropped += 1
+            return
+        self._events.append(
+            TraceEvent(
+                time=time,
+                category=category,
+                actor=actor,
+                description=description,
+                details=tuple(sorted(details.items())),
+            )
+        )
+
+    @property
+    def events(self) -> Tuple[TraceEvent, ...]:
+        return tuple(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Number of records dropped because the capacity was reached."""
+        return self._dropped
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def filter(
+        self,
+        category: Optional[str] = None,
+        actor: Optional[str] = None,
+        predicate: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        """Return events matching the given category/actor/predicate."""
+        out = []
+        for event in self._events:
+            if category is not None and event.category != category:
+                continue
+            if actor is not None and event.actor != actor:
+                continue
+            if predicate is not None and not predicate(event):
+                continue
+            out.append(event)
+        return out
+
+    def categories(self) -> Dict[str, int]:
+        """Histogram of record counts per category."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.category] = counts.get(event.category, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._dropped = 0
+
+    def format(self, limit: Optional[int] = None) -> str:
+        """Multi-line rendering of (up to ``limit``) records."""
+        events = self._events if limit is None else self._events[:limit]
+        lines = [event.format() for event in events]
+        if limit is not None and len(self._events) > limit:
+            lines.append(f"... ({len(self._events) - limit} more records)")
+        return "\n".join(lines)

@@ -1,0 +1,249 @@
+"""Message transport over the simulated network.
+
+The transport connects protocol endpoints (anything exposing an
+``on_message(message)`` callable registered with :meth:`Transport.register`)
+through the :class:`repro.sim.network.Network`.  Sending a message:
+
+1. resolves the current shortest usable path between the two nodes,
+2. samples latency and loss per link along that path,
+3. schedules delivery on the :class:`repro.sim.engine.SimulationEngine`, and
+4. records counters (messages sent / delivered / dropped, physical and
+   logical hops) in the :class:`repro.sim.stats.MetricRegistry`.
+
+The paper's scalability metric counts *logical* hops — one logical hop per
+protocol message between two network entities regardless of the physical path
+length — so the transport tracks both.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.network import Network, NodeState
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import MetricRegistry
+from repro.sim.trace import TraceRecorder
+
+MessageHandler = Callable[["Message"], None]
+
+
+class TransportError(RuntimeError):
+    """Raised for invalid transport usage (unknown endpoint, etc.)."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """A protocol message in flight.
+
+    ``payload`` is an arbitrary mapping owned by the protocol layer; the
+    transport never inspects it.
+    """
+
+    message_id: int
+    source: str
+    destination: str
+    msg_type: str
+    payload: Mapping[str, Any]
+    sent_at: float
+    logical_hop: bool = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Message(#{self.message_id} {self.msg_type} "
+            f"{self.source}->{self.destination} @{self.sent_at:.3f})"
+        )
+
+
+@dataclass(frozen=True)
+class DeliveryReceipt:
+    """Outcome of a :meth:`Transport.send` call."""
+
+    message: Message
+    accepted: bool
+    reason: str = ""
+    expected_delivery: Optional[float] = None
+
+
+class Transport:
+    """Delivers messages between registered endpoints.
+
+    Parameters
+    ----------
+    engine, network, streams:
+        The shared simulation substrate.
+    metrics:
+        Registry receiving transport counters and hop histograms.
+    trace:
+        Optional trace recorder for per-message records.
+    default_retries:
+        Number of automatic retransmissions when a transmission is lost.
+        The paper assumes "token retransmission schemes" detect and mask
+        single losses, so the default is 2.
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        network: Network,
+        streams: RandomStreams,
+        metrics: Optional[MetricRegistry] = None,
+        trace: Optional[TraceRecorder] = None,
+        default_retries: int = 2,
+        retry_backoff: float = 5.0,
+    ) -> None:
+        self.engine = engine
+        self.network = network
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.default_retries = default_retries
+        self.retry_backoff = retry_backoff
+        self._rng = streams.stream("transport")
+        self._handlers: Dict[str, MessageHandler] = {}
+        self._message_ids = itertools.count(1)
+        self._partition_filter: Optional[Callable[[str, str], bool]] = None
+
+    # -- endpoint registration ---------------------------------------------
+
+    def register(self, node_id: str, handler: MessageHandler) -> None:
+        """Register the message handler for ``node_id``."""
+        if not self.network.has_node(node_id):
+            raise TransportError(f"cannot register handler for unknown node {node_id!r}")
+        self._handlers[node_id] = handler
+
+    def unregister(self, node_id: str) -> None:
+        self._handlers.pop(node_id, None)
+
+    def is_registered(self, node_id: str) -> bool:
+        return node_id in self._handlers
+
+    def set_partition_filter(self, predicate: Optional[Callable[[str, str], bool]]) -> None:
+        """Install a predicate blocking delivery between node pairs.
+
+        Used by partition experiments: ``predicate(src, dst)`` returning True
+        means the pair cannot currently communicate even though both are up.
+        """
+        self._partition_filter = predicate
+
+    # -- sending -------------------------------------------------------------
+
+    def send(
+        self,
+        source: str,
+        destination: str,
+        msg_type: str,
+        payload: Optional[Mapping[str, Any]] = None,
+        *,
+        logical_hop: bool = True,
+        retries: Optional[int] = None,
+    ) -> DeliveryReceipt:
+        """Send a message; returns a receipt describing what was scheduled."""
+        message = Message(
+            message_id=next(self._message_ids),
+            source=source,
+            destination=destination,
+            msg_type=msg_type,
+            payload=dict(payload or {}),
+            sent_at=self.engine.now,
+            logical_hop=logical_hop,
+        )
+        self.metrics.counter("transport.sent").increment()
+        self.metrics.counter(f"transport.sent.{msg_type}").increment()
+        if logical_hop and source != destination:
+            self.metrics.counter("transport.logical_hops").increment()
+
+        if source == destination:
+            # Local delivery: no network traversal, immediate dispatch.
+            self._schedule_delivery(message, delay=0.0, physical_hops=0)
+            return DeliveryReceipt(message, True, "local", self.engine.now)
+
+        source_node = self.network.node(source)
+        if not source_node.is_operational:
+            self._drop(message, "source-not-operational")
+            return DeliveryReceipt(message, False, "source-not-operational")
+
+        if self._partition_filter is not None and self._partition_filter(source, destination):
+            self._drop(message, "partitioned")
+            return DeliveryReceipt(message, False, "partitioned")
+
+        destination_node = self.network.node(destination)
+        if destination_node.state is NodeState.FAILED:
+            self._drop(message, "destination-failed")
+            return DeliveryReceipt(message, False, "destination-failed")
+
+        path = self.network.path(source, destination)
+        if path is None:
+            self._drop(message, "no-path")
+            return DeliveryReceipt(message, False, "no-path")
+
+        max_attempts = 1 + (self.default_retries if retries is None else retries)
+        delay = 0.0
+        for attempt in range(max_attempts):
+            delay += self.network.path_latency(path, self._rng)
+            if not self.network.path_loses(path, self._rng):
+                self._schedule_delivery(message, delay=delay, physical_hops=len(path) - 1)
+                return DeliveryReceipt(message, True, "scheduled", self.engine.now + delay)
+            self.metrics.counter("transport.retransmissions").increment()
+            delay += self.retry_backoff
+
+        self._drop(message, "lost-after-retries")
+        return DeliveryReceipt(message, False, "lost-after-retries")
+
+    # -- delivery -------------------------------------------------------------
+
+    def _schedule_delivery(self, message: Message, delay: float, physical_hops: int) -> None:
+        self.metrics.histogram("transport.physical_hops").observe(physical_hops)
+
+        def deliver(_engine: SimulationEngine) -> None:
+            destination_node = self.network.node(message.destination)
+            if not destination_node.is_operational:
+                self._drop(message, "destination-down-at-delivery")
+                return
+            handler = self._handlers.get(message.destination)
+            if handler is None:
+                self._drop(message, "no-handler")
+                return
+            self.metrics.counter("transport.delivered").increment()
+            self.metrics.histogram("transport.latency").observe(self.engine.now - message.sent_at)
+            self.trace.record(
+                self.engine.now,
+                "deliver",
+                message.destination,
+                f"{message.msg_type} from {message.source}",
+                message_id=message.message_id,
+            )
+            handler(message)
+
+        self.engine.schedule(delay, deliver, label=f"deliver:{message.msg_type}")
+
+    def _drop(self, message: Message, reason: str) -> None:
+        self.metrics.counter("transport.dropped").increment()
+        self.metrics.counter(f"transport.dropped.{reason}").increment()
+        self.trace.record(
+            self.engine.now,
+            "drop",
+            message.source,
+            f"{message.msg_type} to {message.destination}: {reason}",
+            message_id=message.message_id,
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    def sent_count(self, msg_type: Optional[str] = None) -> int:
+        name = "transport.sent" if msg_type is None else f"transport.sent.{msg_type}"
+        counter = self.metrics.counters.get(name)
+        return counter.value if counter else 0
+
+    def logical_hop_count(self) -> int:
+        counter = self.metrics.counters.get("transport.logical_hops")
+        return counter.value if counter else 0
+
+    def delivered_count(self) -> int:
+        counter = self.metrics.counters.get("transport.delivered")
+        return counter.value if counter else 0
+
+    def dropped_count(self) -> int:
+        counter = self.metrics.counters.get("transport.dropped")
+        return counter.value if counter else 0

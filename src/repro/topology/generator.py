@@ -1,0 +1,184 @@
+"""Topology generation: build a simulated network from a :class:`TopologySpec`.
+
+The generated graph mirrors Figure 1 of the paper:
+
+* border routers form a full mesh (the Inter-AS tier — BGP peers);
+* each access gateway links to its border router (Intra-AS tier);
+* access gateways under the same border router also link to each other
+  directly (they sit in the same or peered ASes), which gives the ring layer
+  usable physical paths;
+* each access proxy links to its access gateway and to the other APs of the
+  same gateway (they share the wired side of the access network);
+* each mobile host links to its current access proxy over a wireless edge
+  whose latency model depends on the access-network kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sim.network import INTER_AS, INTRA_AS, LatencyModel, Network, NetworkNode
+from repro.sim.rng import RandomStreams
+from repro.topology.architecture import (
+    MOBILE_HOST_CLASSES,
+    AccessNetworkKind,
+    FourTierArchitecture,
+    TopologySpec,
+)
+from repro.topology.wireless import access_network_profile
+
+
+@dataclass
+class GeneratedTopology:
+    """Result of :meth:`TopologyGenerator.generate`."""
+
+    network: Network
+    architecture: FourTierArchitecture
+
+    @property
+    def access_proxies(self) -> List[str]:
+        return list(self.architecture.access_proxies)
+
+    @property
+    def access_gateways(self) -> List[str]:
+        return list(self.architecture.access_gateways)
+
+    @property
+    def border_routers(self) -> List[str]:
+        return list(self.architecture.border_routers)
+
+    @property
+    def mobile_hosts(self) -> List[str]:
+        return list(self.architecture.mobile_hosts)
+
+
+class TopologyGenerator:
+    """Builds :class:`GeneratedTopology` instances from a spec.
+
+    The generator is deterministic given ``streams``: access-network kinds and
+    device classes are sampled from the ``"topology"`` stream.
+    """
+
+    def __init__(self, spec: TopologySpec, streams: Optional[RandomStreams] = None) -> None:
+        self.spec = spec
+        self.streams = streams if streams is not None else RandomStreams(0)
+        self._rng = self.streams.stream("topology")
+
+    # -- naming helpers ------------------------------------------------------
+
+    @staticmethod
+    def br_id(index: int) -> str:
+        return f"br-{index:03d}"
+
+    @staticmethod
+    def ag_id(br_index: int, index: int) -> str:
+        return f"ag-{br_index:03d}-{index:03d}"
+
+    @staticmethod
+    def ap_id(br_index: int, ag_index: int, index: int) -> str:
+        return f"ap-{br_index:03d}-{ag_index:03d}-{index:03d}"
+
+    @staticmethod
+    def mh_id(index: int) -> str:
+        return f"mh-{index:05d}"
+
+    # -- generation -----------------------------------------------------------
+
+    def generate(self) -> GeneratedTopology:
+        """Build the network and architecture metadata."""
+        spec = self.spec
+        network = Network()
+        arch = FourTierArchitecture(spec=spec)
+
+        kinds = list(spec.access_network_mix.keys())
+        kind_weights = np.array([spec.access_network_mix[k] for k in kinds], dtype=float)
+        kind_weights = kind_weights / kind_weights.sum()
+
+        # Inter-AS tier: border routers, full mesh.
+        for b in range(spec.num_border_routers):
+            br = self.br_id(b)
+            network.add_node(NetworkNode(node_id=br, kind="BR", tier=3))
+            arch.border_routers.append(br)
+        for i, a in enumerate(arch.border_routers):
+            for b in arch.border_routers[i + 1 :]:
+                network.add_link(a, b, INTER_AS)
+
+        # Intra-AS tier: access gateways.
+        for b in range(spec.num_border_routers):
+            br = self.br_id(b)
+            ags_here: List[str] = []
+            for g in range(spec.ags_per_br):
+                ag = self.ag_id(b, g)
+                network.add_node(NetworkNode(node_id=ag, kind="AG", tier=2))
+                arch.access_gateways.append(ag)
+                arch.ag_parent[ag] = br
+                network.add_link(ag, br, INTRA_AS)
+                ags_here.append(ag)
+            # Gateways of the same AS can reach each other directly.
+            for i, a in enumerate(ags_here):
+                for other in ags_here[i + 1 :]:
+                    network.add_link(a, other, INTRA_AS)
+
+        # Wireless access network tier: access proxies.
+        for b in range(spec.num_border_routers):
+            for g in range(spec.ags_per_br):
+                ag = self.ag_id(b, g)
+                aps_here: List[str] = []
+                for p in range(spec.aps_per_ag):
+                    ap = self.ap_id(b, g, p)
+                    kind = kinds[int(self._rng.choice(len(kinds), p=kind_weights))]
+                    network.add_node(
+                        NetworkNode(
+                            node_id=ap,
+                            kind="AP",
+                            tier=1,
+                            metadata={"access_network": kind.value},
+                        )
+                    )
+                    arch.access_proxies.append(ap)
+                    arch.ap_parent[ap] = ag
+                    arch.ap_access_network[ap] = kind
+                    network.add_link(ap, ag, INTRA_AS)
+                    aps_here.append(ap)
+                # APs under one gateway share the access network's wired side.
+                for i, a in enumerate(aps_here):
+                    for other in aps_here[i + 1 :]:
+                        network.add_link(a, other, INTRA_AS)
+
+        # Mobile host tier.
+        host_index = 0
+        for ap in arch.access_proxies:
+            profile = access_network_profile(arch.ap_access_network[ap])
+            for _ in range(spec.hosts_per_ap):
+                mh = self.mh_id(host_index)
+                host_index += 1
+                device = MOBILE_HOST_CLASSES[int(self._rng.integers(len(MOBILE_HOST_CLASSES)))]
+                network.add_node(
+                    NetworkNode(
+                        node_id=mh,
+                        kind="MH",
+                        tier=0,
+                        metadata={"device": device},
+                    )
+                )
+                arch.mobile_hosts.append(mh)
+                arch.host_attachment[mh] = ap
+                arch.host_device_class[mh] = device
+                network.add_link(mh, ap, profile.edge_latency)
+
+        arch.validate()
+        return GeneratedTopology(network=network, architecture=arch)
+
+
+def generate_regular_topology(
+    ring_size: int,
+    height: int,
+    hosts_per_ap: int = 0,
+    seed: int = 0,
+) -> GeneratedTopology:
+    """Convenience wrapper: the regular full hierarchy of the paper's analysis."""
+    spec = TopologySpec.regular(ring_size=ring_size, height=height, hosts_per_ap=hosts_per_ap)
+    return TopologyGenerator(spec, RandomStreams(seed)).generate()

@@ -1,0 +1,28 @@
+"""Workload generators driving the experiments and examples.
+
+* :mod:`repro.workloads.churn` — join/leave/failure churn over the member
+  population.
+* :mod:`repro.workloads.handoffs` — handoff storms (bursts of mobility).
+* :mod:`repro.workloads.queries` — membership query mixes for the TMS/BMS/IMS
+  comparison.
+* :mod:`repro.workloads.scenarios` — packaged end-to-end scenarios combining
+  the above (used by the examples and integration tests).
+"""
+
+from repro.workloads.churn import ChurnEvent, ChurnKind, ChurnWorkload
+from repro.workloads.handoffs import HandoffStorm, HandoffStormEvent
+from repro.workloads.queries import QueryWorkload, QueryRequest
+from repro.workloads.scenarios import ScenarioResult, run_conferencing_scenario, run_churn_scenario
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnKind",
+    "ChurnWorkload",
+    "HandoffStorm",
+    "HandoffStormEvent",
+    "QueryWorkload",
+    "QueryRequest",
+    "ScenarioResult",
+    "run_conferencing_scenario",
+    "run_churn_scenario",
+]

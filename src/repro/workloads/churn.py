@@ -1,0 +1,105 @@
+"""Churn workload: joins, voluntary leaves and member failures over time.
+
+The generator produces a time-ordered list of :class:`ChurnEvent` records that
+can be replayed against any membership engine (RGB, flat ring, tree, gossip).
+Rates are Poisson; the member population is tracked so leaves/failures only
+target currently joined members.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.sim.rng import RandomStreams
+
+
+class ChurnKind(enum.Enum):
+    JOIN = "join"
+    LEAVE = "leave"
+    FAILURE = "failure"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One churn event: a member joins, leaves or fails at an access proxy."""
+
+    time: float
+    kind: ChurnKind
+    member: str
+    ap: str
+
+
+@dataclass
+class ChurnWorkload:
+    """Generator of churn event sequences.
+
+    Parameters
+    ----------
+    ap_ids:
+        Access proxies members can join at.
+    join_rate:
+        Expected joins per unit time.
+    leave_rate, failure_rate:
+        Expected departures per unit time *per joined member*.
+    horizon:
+        Length of the generated trace.
+    seed:
+        Seed for the ``"churn"`` random stream.
+    """
+
+    ap_ids: Sequence[str]
+    join_rate: float = 0.5
+    leave_rate: float = 0.001
+    failure_rate: float = 0.0005
+    horizon: float = 1000.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.ap_ids:
+            raise ValueError("churn workload needs at least one access proxy")
+        if self.join_rate <= 0:
+            raise ValueError(f"join_rate must be positive, got {self.join_rate}")
+        for name, value in (("leave_rate", self.leave_rate), ("failure_rate", self.failure_rate)):
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {self.horizon}")
+
+    def generate(self) -> List[ChurnEvent]:
+        """Generate the time-ordered churn trace."""
+        rng = RandomStreams(self.seed).stream("churn")
+        events: List[ChurnEvent] = []
+        population: Dict[str, str] = {}  # member -> ap
+        t = 0.0
+        counter = 0
+        while True:
+            departure_rate = (self.leave_rate + self.failure_rate) * max(len(population), 0)
+            total_rate = self.join_rate + departure_rate
+            t += float(rng.exponential(1.0 / total_rate))
+            if t > self.horizon:
+                break
+            if departure_rate > 0 and rng.random() < departure_rate / total_rate:
+                member = sorted(population)[int(rng.integers(len(population)))]
+                ap = population.pop(member)
+                is_failure = rng.random() < self.failure_rate / (self.leave_rate + self.failure_rate) \
+                    if (self.leave_rate + self.failure_rate) > 0 else False
+                kind = ChurnKind.FAILURE if is_failure else ChurnKind.LEAVE
+                events.append(ChurnEvent(time=t, kind=kind, member=member, ap=ap))
+            else:
+                member = f"churn-{self.seed}-{counter:06d}"
+                counter += 1
+                ap = self.ap_ids[int(rng.integers(len(self.ap_ids)))]
+                population[member] = ap
+                events.append(ChurnEvent(time=t, kind=ChurnKind.JOIN, member=member, ap=ap))
+        return events
+
+    @staticmethod
+    def summarize(events: Sequence[ChurnEvent]) -> Dict[str, int]:
+        """Event counts per kind."""
+        counts = {kind.value: 0 for kind in ChurnKind}
+        for event in events:
+            counts[event.kind.value] += 1
+        counts["total"] = len(events)
+        return counts

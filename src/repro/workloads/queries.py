@@ -1,0 +1,85 @@
+"""Membership query workloads for the TMS / BMS / IMS comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.query import MembershipQueryService, MembershipScheme, QueryResult
+from repro.sim.rng import RandomStreams
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query in the workload: issued at ``time`` from ``entry_point``."""
+
+    time: float
+    entry_point: str
+    scheme: MembershipScheme
+
+
+@dataclass
+class QueryWorkload:
+    """Generates and replays a mix of membership queries.
+
+    Parameters
+    ----------
+    entry_points:
+        Network entities applications contact first (usually access proxies).
+    queries:
+        Number of queries to generate.
+    scheme_mix:
+        Relative weight of each scheme in the mix; defaults to uniform.
+    duration:
+        Workload duration; query times are uniform over it.
+    """
+
+    entry_points: Sequence[str]
+    queries: int = 50
+    scheme_mix: Optional[Mapping[MembershipScheme, float]] = None
+    duration: float = 100.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.entry_points:
+            raise ValueError("query workload needs at least one entry point")
+        if self.queries < 1:
+            raise ValueError(f"queries must be >= 1, got {self.queries}")
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+
+    def generate(self) -> List[QueryRequest]:
+        rng = RandomStreams(self.seed).stream("queries")
+        mix = dict(self.scheme_mix) if self.scheme_mix else {s: 1.0 for s in MembershipScheme}
+        schemes = list(mix)
+        total = sum(mix.values())
+        weights = [mix[s] / total for s in schemes]
+        requests: List[QueryRequest] = []
+        times = sorted(float(rng.uniform(0.0, self.duration)) for _ in range(self.queries))
+        for time in times:
+            scheme = schemes[int(rng.choice(len(schemes), p=weights))]
+            entry = self.entry_points[int(rng.integers(len(self.entry_points)))]
+            requests.append(QueryRequest(time=time, entry_point=entry, scheme=scheme))
+        return requests
+
+    @staticmethod
+    def replay(store, requests: Sequence[QueryRequest]) -> Dict[str, Dict[str, float]]:
+        """Run every query against a protocol engine; aggregate per scheme.
+
+        Returns ``{scheme: {queries, total_hops, mean_hops, mean_members}}``.
+        """
+        aggregates: Dict[str, Dict[str, float]] = {}
+        for request in requests:
+            service = MembershipQueryService(store, entry_point=request.entry_point)
+            result: QueryResult = service.query(request.scheme)
+            bucket = aggregates.setdefault(
+                request.scheme.value,
+                {"queries": 0.0, "total_hops": 0.0, "total_members": 0.0},
+            )
+            bucket["queries"] += 1
+            bucket["total_hops"] += result.message_hops
+            bucket["total_members"] += len(result)
+        for bucket in aggregates.values():
+            bucket["mean_hops"] = bucket["total_hops"] / bucket["queries"]
+            bucket["mean_members"] = bucket["total_members"] / bucket["queries"]
+        return aggregates

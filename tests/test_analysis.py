@@ -1,0 +1,201 @@
+"""Tests for the analytical models: Table I, Table II, Monte-Carlo validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.hopcount_sim import measure_ring_hopcount
+from repro.analysis.montecarlo import (
+    simulate_hierarchy_function_well,
+    simulate_tree_function_well,
+)
+from repro.analysis.reliability import (
+    TABLE2_PAPER_VALUES,
+    headline_claims,
+    hierarchy_function_well_probability,
+    ring_function_well_probability,
+    table2_rows,
+    tree_function_well_probability,
+)
+from repro.analysis.scalability import (
+    TABLE1_PAPER_VALUES,
+    hcn_ring,
+    hcn_tree,
+    hcn_tree_without_representatives,
+    hopcount_removed_tree,
+    hopcount_ring,
+    hopcount_tree,
+    max_ring_to_tree_ratio,
+    ring_access_proxy_count,
+    ring_total_rings,
+    table1_rows,
+    tree_leaf_count,
+)
+from repro.analysis.tables import render_claims, render_table1, render_table2
+
+
+class TestScalabilityFormulas:
+    @pytest.mark.parametrize("n,tree,ring", TABLE1_PAPER_VALUES)
+    def test_table1_matches_paper_exactly(self, n, tree, ring):
+        rows = {row.n: row for row in table1_rows()}
+        assert rows[n].hcn_tree == tree
+        assert rows[n].hcn_ring == ring
+
+    def test_tree_without_representatives_is_edge_count(self):
+        # Formula (1)/n: sum of r^(i+1) = number of edges of the complete tree.
+        assert hcn_tree_without_representatives(3, 5) == 30
+        assert hcn_tree_without_representatives(4, 5) == 155
+
+    def test_representatives_strictly_reduce_hops(self):
+        for h, r in [(3, 5), (4, 5), (5, 5), (3, 10), (4, 10)]:
+            assert hcn_tree(h, r) < hcn_tree_without_representatives(h, r)
+            assert hopcount_removed_tree(h, r) > 0
+
+    def test_total_hopcounts_are_n_times_normalised(self):
+        assert hopcount_tree(3, 5) == 25 * hcn_tree(3, 5)
+        assert hopcount_ring(2, 5) == 25 * hcn_ring(2, 5)
+
+    def test_ring_structure_counts(self):
+        assert ring_access_proxy_count(3, 5) == 125
+        assert ring_total_rings(3, 5) == 31
+        assert tree_leaf_count(4, 5) == 125
+
+    def test_hcn_ring_closed_form(self):
+        assert hcn_ring(2, 5) == 35
+        assert hcn_ring(3, 10) == 1220
+
+    def test_ring_tree_ratio_is_comparable(self):
+        # The paper's comparability claim: the ring hierarchy costs at most
+        # ~25% more hops than the tree hierarchy across Table I.
+        assert max_ring_to_tree_ratio() < 1.3
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            hcn_tree(2, 5)
+        with pytest.raises(ValueError):
+            hcn_ring(1, 5)
+        with pytest.raises(ValueError):
+            hcn_ring(2, 1)
+
+    def test_invalid_table_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            table1_rows([(30, 3, 2, 5)])
+
+
+class TestMeasuredHopCounts:
+    @pytest.mark.parametrize("height,ring_size", [(2, 3), (2, 5), (3, 3)])
+    def test_measured_equals_formula(self, height, ring_size):
+        measurement = measure_ring_hopcount(height, ring_size, changes=2)
+        assert measurement.measured_hops_per_change == measurement.analytical_hcn
+        assert measurement.relative_error == 0.0
+
+    def test_acks_not_included_in_headline_count(self):
+        measurement = measure_ring_hopcount(2, 3, changes=1)
+        assert measurement.ack_hops >= 0
+        assert measurement.measured_hops_per_change == measurement.token_hops + measurement.notify_hops
+
+    def test_invalid_changes(self):
+        with pytest.raises(ValueError):
+            measure_ring_hopcount(2, 3, changes=0)
+
+
+class TestReliabilityFormulas:
+    def test_ring_function_well_closed_form(self):
+        # (1 - f + r f)(1 - f)^(r-1)
+        assert ring_function_well_probability(5, 0.0) == 1.0
+        assert ring_function_well_probability(5, 0.001) == pytest.approx(
+            (1 - 0.001 + 5 * 0.001) * (1 - 0.001) ** 4
+        )
+
+    def test_ring_probability_decreases_with_faults_and_size(self):
+        assert ring_function_well_probability(5, 0.01) > ring_function_well_probability(5, 0.05)
+        assert ring_function_well_probability(5, 0.01) > ring_function_well_probability(20, 0.01)
+
+    def test_hierarchy_probability_monotone_in_k(self):
+        values = [
+            hierarchy_function_well_probability(3, 10, 0.005, k) for k in (1, 2, 3, 4)
+        ]
+        assert values == sorted(values)
+
+    @pytest.mark.parametrize("n,f_percent,k,paper", TABLE2_PAPER_VALUES)
+    def test_table2_matches_paper_within_tolerance(self, n, f_percent, k, paper):
+        ring_size = 5 if n == 125 else 10
+        computed = 100.0 * hierarchy_function_well_probability(3, ring_size, f_percent / 100.0, k)
+        # The paper's k=1 rows match to ~0.35 percentage points; the k>=2 rows
+        # show slightly larger deviations (the paper's own rounding), but all
+        # stay within 1.5 percentage points.
+        assert computed == pytest.approx(paper, abs=1.5)
+        if k == 1:
+            assert computed == pytest.approx(paper, abs=0.4)
+
+    def test_headline_claims(self):
+        claims = headline_claims()
+        assert 100 * claims["no_partition_probability"] == pytest.approx(99.5, abs=0.05)
+        assert 100 * claims["at_most_3_partitions_probability"] > 99.99
+
+    def test_tree_reliability_lower_than_ring(self):
+        for f in (0.001, 0.005, 0.02):
+            ring = hierarchy_function_well_probability(3, 5, f, 1)
+            tree = tree_function_well_probability(4, 5, f, 1)
+            assert ring > tree
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            ring_function_well_probability(5, 1.5)
+        with pytest.raises(ValueError):
+            hierarchy_function_well_probability(3, 5, 0.01, 0)
+        with pytest.raises(ValueError):
+            tree_function_well_probability(2, 5, 0.01)
+
+    def test_table2_rows_cover_paper_grid(self):
+        rows = table2_rows()
+        assert len(rows) == 18
+        assert {row.n for row in rows} == {125, 1000}
+
+
+class TestMonteCarlo:
+    def test_ring_monte_carlo_matches_analytical(self):
+        analytical = hierarchy_function_well_probability(2, 4, 0.02, 1)
+        result = simulate_hierarchy_function_well(
+            2, 4, 0.02, max_partitions=1, trials=800, seed=11, analytical=analytical
+        )
+        assert result.trials == 800
+        assert result.within(sigmas=5.0, floor=0.03)
+
+    def test_ring_monte_carlo_k3_is_higher_than_k1(self):
+        k1 = simulate_hierarchy_function_well(2, 4, 0.05, 1, trials=500, seed=2)
+        k3 = simulate_hierarchy_function_well(2, 4, 0.05, 3, trials=500, seed=2)
+        assert k3.estimate >= k1.estimate
+
+    def test_tree_monte_carlo_is_less_reliable_than_ring(self):
+        ring = simulate_hierarchy_function_well(2, 4, 0.05, 1, trials=600, seed=5)
+        tree = simulate_tree_function_well(3, 4, 0.05, 1, trials=600, seed=5)
+        assert ring.estimate > tree.estimate
+
+    def test_zero_fault_probability_always_functions_well(self):
+        result = simulate_hierarchy_function_well(2, 3, 0.0, 1, trials=50, seed=1)
+        assert result.estimate == 1.0
+
+    def test_trials_validation(self):
+        with pytest.raises(ValueError):
+            simulate_hierarchy_function_well(2, 3, 0.01, trials=0)
+
+
+class TestTableRendering:
+    def test_table1_text_contains_paper_values(self):
+        text = render_table1()
+        assert "11000" in text and "12220" in text
+
+    def test_table2_text_contains_configurations(self):
+        text = render_table2()
+        assert "1000" in text and "99.5" in text
+
+    def test_claims_text(self):
+        assert "99.500%" in render_claims()
+
+    def test_cli_main(self, capsys):
+        from repro.analysis.tables import main
+
+        assert main(["table1"]) == 0
+        captured = capsys.readouterr()
+        assert "Table I" in captured.out

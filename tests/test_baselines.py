@@ -1,0 +1,179 @@
+"""Tests for the baseline membership schemes (tree, flat ring, gossip)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.scalability import hcn_tree_without_representatives, tree_leaf_count
+from repro.baselines.flat_ring import FlatRingMembership
+from repro.baselines.gossip import GossipMembership
+from repro.baselines.tree_hierarchy import TreeHierarchy
+from repro.baselines.tree_membership import TreeMembershipProtocol
+
+
+class TestTreeHierarchy:
+    def test_leaf_count_matches_formula(self):
+        tree = TreeHierarchy.regular(height=3, branching=5)
+        assert tree.leaf_count() == tree_leaf_count(3, 5) == 25
+
+    def test_with_representatives_uses_only_leaf_servers(self):
+        tree = TreeHierarchy.regular(height=3, branching=3, with_representatives=True)
+        assert len(tree.physical_servers()) == tree.leaf_count()
+        # every interior node is played by one of its descendant leaves
+        for node in tree.interior_nodes():
+            descendants = {leaf.server for leaf in tree.leaves() if node.node_id in ([leaf.node_id] + tree.path_to_root(leaf.node_id))}
+            assert node.server in descendants
+
+    def test_without_representatives_has_distinct_servers(self):
+        tree = TreeHierarchy.regular(height=3, branching=3, with_representatives=False)
+        assert len(tree.physical_servers()) == len(tree.nodes)
+
+    def test_edge_counts(self):
+        tree = TreeHierarchy.regular(height=3, branching=3, with_representatives=True)
+        assert tree.edge_count() == 3 + 9
+        assert tree.physical_edge_count() < tree.edge_count()
+
+    def test_partition_count_no_faults(self):
+        tree = TreeHierarchy.regular(height=3, branching=3)
+        assert tree.partition_count([]) == 1
+        assert tree.functions_well([])
+
+    def test_leaf_failure_keeps_tree_whole(self):
+        tree = TreeHierarchy.regular(height=3, branching=3)
+        pure_leaf = next(
+            leaf.server for leaf in tree.leaves() if len(tree.logical_nodes_of_server(leaf.server)) == 1
+        )
+        assert tree.partition_count([pure_leaf]) == 1
+
+    def test_representative_failure_partitions_tree(self):
+        tree = TreeHierarchy.regular(height=3, branching=3, with_representatives=True)
+        # a level-1 representative plays a leaf and an interior node
+        rep = next(
+            node.server for node in tree.interior_nodes() if not node.is_root
+        )
+        assert tree.partition_count([rep]) > 1
+
+    def test_height_and_branching_validation(self):
+        with pytest.raises(ValueError):
+            TreeHierarchy.regular(height=2, branching=3)
+        with pytest.raises(ValueError):
+            TreeHierarchy.regular(height=3, branching=1)
+
+
+class TestTreeMembershipProtocol:
+    def test_one_change_crosses_every_logical_edge(self):
+        tree = TreeHierarchy.regular(height=3, branching=5, with_representatives=True)
+        protocol = TreeMembershipProtocol(tree)
+        leaf = tree.leaves()[0].node_id
+        report = protocol.join(leaf, "alice")
+        assert report.logical_hops == hcn_tree_without_representatives(3, 5)
+        assert report.physical_hops < report.logical_hops  # representative savings
+        assert report.servers_reached == len(tree.physical_servers())
+
+    def test_all_servers_agree_after_propagation(self):
+        tree = TreeHierarchy.regular(height=3, branching=3)
+        protocol = TreeMembershipProtocol(tree)
+        leaves = tree.leaves()
+        protocol.join(leaves[0].node_id, "alice")
+        protocol.join(leaves[4].node_id, "bob")
+        protocol.leave(leaves[0].node_id, "alice")
+        assert protocol.global_agreement()
+        assert protocol.membership_at(tree.root.server) == {"bob"}
+
+    def test_failed_server_does_not_apply_changes(self):
+        tree = TreeHierarchy.regular(height=3, branching=3)
+        protocol = TreeMembershipProtocol(tree)
+        victim = tree.leaves()[3].server
+        protocol.fail_server(victim)
+        protocol.join(tree.leaves()[0].node_id, "alice")
+        assert protocol.membership_at(victim) == set()
+        assert not protocol.global_agreement() or victim not in protocol.operational_servers()
+
+    def test_average_hops(self):
+        tree = TreeHierarchy.regular(height=3, branching=3)
+        protocol = TreeMembershipProtocol(tree)
+        for index, leaf in enumerate(tree.leaves()[:4]):
+            protocol.join(leaf.node_id, f"m{index}")
+        assert protocol.average_logical_hops() == pytest.approx(hcn_tree_without_representatives(3, 3))
+
+    def test_non_leaf_origin_rejected(self):
+        tree = TreeHierarchy.regular(height=3, branching=3)
+        protocol = TreeMembershipProtocol(tree)
+        with pytest.raises(KeyError):
+            protocol.join(tree.root.node_id, "alice")
+
+
+class TestFlatRing:
+    def test_change_visits_every_proxy(self):
+        ring = FlatRingMembership([f"ap-{i}" for i in range(10)])
+        report = ring.join("ap-3", "alice")
+        assert report.members_reached == 10
+        assert report.hops == 10
+        assert ring.global_agreement()
+
+    def test_hops_scale_linearly_with_n(self):
+        small = FlatRingMembership([f"ap-{i}" for i in range(10)]).join("ap-0", "m")
+        large = FlatRingMembership([f"ap-{i}" for i in range(100)]).join("ap-0", "m")
+        assert large.hops == 10 * small.hops
+
+    def test_leave_removes_member(self):
+        ring = FlatRingMembership(["a", "b", "c"])
+        ring.join("a", "alice")
+        ring.leave("b", "alice")
+        assert all(ring.membership_at(p) == set() for p in ring.operational())
+
+    def test_failed_proxy_excluded_during_revolution(self):
+        ring = FlatRingMembership(["a", "b", "c", "d"])
+        ring.fail_proxy("c")
+        report = ring.join("a", "alice")
+        assert "c" in report.repaired
+        assert ring.ring_size() == 3
+        assert ring.total_retransmissions == 1
+
+    def test_origin_must_be_operational(self):
+        ring = FlatRingMembership(["a", "b"])
+        ring.fail_proxy("a")
+        with pytest.raises(ValueError):
+            ring.join("a", "alice")
+
+    def test_duplicate_proxies_rejected(self):
+        with pytest.raises(ValueError):
+            FlatRingMembership(["a", "a"])
+
+
+class TestGossip:
+    def test_change_converges_to_all_proxies(self):
+        gossip = GossipMembership([f"ap-{i}" for i in range(20)], fanout=3, seed=1)
+        report = gossip.join("ap-0", "alice")
+        assert report.converged
+        assert gossip.global_agreement()
+        assert gossip.membership_at("ap-19") == {"alice"}
+
+    def test_rounds_grow_roughly_logarithmically(self):
+        small = GossipMembership([f"ap-{i}" for i in range(16)], fanout=2, seed=1).join("ap-0", "m")
+        large = GossipMembership([f"ap-{i}" for i in range(256)], fanout=2, seed=1).join("ap-0", "m")
+        assert large.rounds <= 4 * small.rounds  # far from linear growth
+
+    def test_messages_counted(self):
+        gossip = GossipMembership([f"ap-{i}" for i in range(10)], fanout=2, seed=2)
+        report = gossip.join("ap-0", "alice")
+        assert report.messages > 0
+        assert gossip.average_messages() == report.messages
+
+    def test_failed_proxy_not_counted_for_convergence(self):
+        gossip = GossipMembership([f"ap-{i}" for i in range(10)], fanout=2, seed=3)
+        gossip.fail_proxy("ap-5")
+        report = gossip.join("ap-0", "alice")
+        assert report.converged
+        assert "ap-5" not in gossip.operational()
+
+    def test_deterministic_given_seed(self):
+        r1 = GossipMembership([f"ap-{i}" for i in range(30)], fanout=2, seed=7).join("ap-0", "m")
+        r2 = GossipMembership([f"ap-{i}" for i in range(30)], fanout=2, seed=7).join("ap-0", "m")
+        assert (r1.rounds, r1.messages) == (r2.rounds, r2.messages)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GossipMembership([], fanout=2)
+        with pytest.raises(ValueError):
+            GossipMembership(["a"], fanout=0)

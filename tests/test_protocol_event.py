@@ -1,0 +1,186 @@
+"""Tests for the message-passing protocol engine (tokens over the transport)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ProtocolConfig, SimulationConfig
+from repro.core.simulation import RGBSimulation
+
+
+def build_event_sim(num_aps=12, ring_size=4, seed=3, **protocol_kwargs) -> RGBSimulation:
+    protocol_kwargs.setdefault("aggregation_delay", 1.0)
+    protocol = ProtocolConfig(**protocol_kwargs)
+    return RGBSimulation(
+        SimulationConfig(
+            num_aps=num_aps,
+            ring_size=ring_size,
+            hosts_per_ap=0,
+            seed=seed,
+            engine_mode="event",
+            protocol=protocol,
+        )
+    ).build()
+
+
+class TestEventJoinLeave:
+    def test_single_join_reaches_top_leader(self, event_sim):
+        member = event_sim.join_member(ap_index=0)
+        event_sim.run_until_quiescent()
+        assert member.guid in event_sim.global_membership()
+
+    def test_multiple_joins_from_different_rings(self, event_sim):
+        members = [event_sim.join_member(ap_index=i) for i in (0, 5, 11)]
+        event_sim.run_until_quiescent()
+        view = event_sim.global_membership()
+        assert all(m.guid in view for m in members)
+        assert len(view) == 3
+
+    def test_leave_removes_member(self, event_sim):
+        member = event_sim.join_member(ap_index=0, guid="alice")
+        event_sim.run_until_quiescent()
+        event_sim.leave_member("alice")
+        event_sim.run_until_quiescent()
+        assert "alice" not in event_sim.global_membership()
+
+    def test_join_uses_real_messages(self, event_sim):
+        event_sim.join_member(ap_index=0)
+        event_sim.run_until_quiescent()
+        assert event_sim.metrics.counter("transport.sent").value > 0
+        assert event_sim.metrics.counter("protocol.rounds_completed").value >= 1
+        assert event_sim.engine.now > 0.0
+
+    def test_views_consistent_across_ring_members(self, event_sim):
+        event_sim.join_member(ap_index=2, guid="alice")
+        event_sim.run_until_quiescent()
+        ring = event_sim.ring_of(event_sim.access_proxies()[2])
+        views = [
+            event_sim.protocol.entity(str(node)).ring_members.snapshot() for node in ring.members
+        ]
+        assert len(set(views)) == 1
+
+    def test_handoff_over_messages(self, event_sim):
+        aps = event_sim.access_proxies()
+        event_sim.join_member(ap_id=aps[0], guid="alice")
+        event_sim.run_until_quiescent()
+        event_sim.handoff_member("alice", aps[6])
+        event_sim.run_until_quiescent()
+        record = event_sim.protocol.entity(aps[6]).local_members.get("alice")
+        assert record is not None
+        assert event_sim.protocol.entity(aps[0]).local_members.get("alice") is None
+
+
+class TestEventFailureDetection:
+    def test_crashed_ap_detected_and_members_removed(self):
+        sim = build_event_sim()
+        aps = sim.access_proxies()
+        ring = sim.ring_of(aps[0])
+        victim = str(ring.members[1])
+        survivor = str(ring.members[0])
+        sim.join_member(ap_id=victim, guid="victim-member")
+        sim.run_until_quiescent()
+        sim.crash_entity(victim)
+        sim.join_member(ap_id=survivor, guid="trigger")
+        sim.run_until_quiescent()
+        view = sim.global_membership()
+        assert "victim-member" not in view
+        assert "trigger" in view
+        assert victim not in [str(n) for n in sim.ring_of(survivor).members]
+
+    def test_crashed_leader_excluded_via_signal_fallback(self):
+        sim = build_event_sim()
+        aps = sim.access_proxies()
+        ring = sim.ring_of(aps[0])
+        leader = str(ring.leader)
+        survivor = next(str(n) for n in ring.members if str(n) != leader)
+        sim.crash_entity(leader)
+        sim.join_member(ap_id=survivor, guid="bob")
+        sim.run_until_quiescent()
+        assert "bob" in sim.global_membership()
+        new_leader = sim.ring_of(survivor).leader
+        assert new_leader is not None and str(new_leader) != leader
+
+    def test_crashed_node_stops_participating(self):
+        sim = build_event_sim()
+        aps = sim.access_proxies()
+        sim.crash_entity(aps[0])
+        node = sim.protocol.nodes[next(iter(sim.protocol.nodes))]
+        # join at a crashed proxy is silently ignored by that node
+        sim.protocol.join_member(aps[0], "ghost")
+        sim.run_until_quiescent()
+        assert "ghost" not in sim.global_membership()
+        del node
+
+    def test_heartbeat_rounds_detect_idle_ring_failures(self):
+        sim = build_event_sim(heartbeat_interval=200.0)
+        aps = sim.access_proxies()
+        sim.join_member(ap_id=aps[0], guid="alice")
+        sim.run_until_quiescent()
+        ring = sim.ring_of(aps[0])
+        victim = next(str(n) for n in ring.members if n != ring.leader)
+        sim.crash_entity(victim)
+        # No new membership traffic: only heartbeats can notice the crash.
+        sim.run_until_quiescent()
+        sim.run_until_quiescent()
+        assert victim not in [str(n) for n in sim.ring_of(aps[0]).members]
+        assert sim.metrics.counter("protocol.heartbeat_rounds").value > 0
+
+    def test_token_retransmissions_counted_on_timeout(self):
+        sim = build_event_sim()
+        aps = sim.access_proxies()
+        ring = sim.ring_of(aps[0])
+        holder = str(ring.leader)
+        victim = str(ring.successor(ring.leader))
+        sim.join_member(ap_id=holder, guid="alice")
+        sim.crash_entity(victim)
+        sim.run_until_quiescent()
+        assert sim.metrics.counter("protocol.token_retransmissions").value > 0
+        assert sim.metrics.counter("protocol.ring_repairs").value >= 1
+        assert "alice" in sim.global_membership()
+
+
+class TestEventConfigurationVariants:
+    def test_without_downward_dissemination(self):
+        sim = build_event_sim(disseminate_downward=False)
+        sim.join_member(ap_index=0, guid="alice")
+        sim.run_until_quiescent()
+        assert "alice" in sim.global_membership()
+        notify_child = sim.metrics.counters.get("protocol.notify_child")
+        assert notify_child is None or notify_child.value == 0
+
+    def test_without_holder_acks(self):
+        sim = build_event_sim(holder_ack_enabled=False)
+        sim.join_member(ap_index=0, guid="alice")
+        sim.run_until_quiescent()
+        acks = sim.metrics.counters.get("protocol.holder_acks_received")
+        assert acks is None or acks.value == 0
+        assert "alice" in sim.global_membership()
+
+    def test_aggregation_reduces_rounds_for_bursts(self):
+        aggregated = build_event_sim()
+        flat = build_event_sim(aggregate_mq=False, aggregation_delay=0.0)
+        for sim in (aggregated, flat):
+            ap = sim.access_proxies()[0]
+            for i in range(6):
+                sim.join_member(ap_id=ap, guid=f"m{i}")
+            sim.run_until_quiescent()
+            assert len(sim.global_membership()) == 6
+        agg_rounds = aggregated.metrics.counter("protocol.rounds_completed").value
+        flat_rounds = flat.metrics.counter("protocol.rounds_completed").value
+        assert agg_rounds <= flat_rounds
+
+    def test_deterministic_given_seed(self):
+        results = []
+        for _ in range(2):
+            sim = build_event_sim(seed=9)
+            sim.join_member(ap_index=0, guid="alice")
+            sim.join_member(ap_index=7, guid="bob")
+            sim.run_until_quiescent()
+            results.append(
+                (
+                    sim.engine.dispatched_events,
+                    sim.metrics.counter("protocol.token_hops").value,
+                    tuple(sim.global_membership().guids()),
+                )
+            )
+        assert results[0] == results[1]

@@ -1,0 +1,193 @@
+"""Tests for the RGBSimulation facade and the workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SimulationConfig
+from repro.core.query import MembershipScheme
+from repro.core.simulation import RGBSimulation, SimulationNotBuilt
+from repro.workloads.churn import ChurnKind, ChurnWorkload
+from repro.workloads.handoffs import HandoffStorm
+from repro.workloads.queries import QueryWorkload
+
+
+class TestFacadeConstruction:
+    def test_requires_build_before_use(self):
+        sim = RGBSimulation(SimulationConfig(num_aps=8, ring_size=3))
+        with pytest.raises(SimulationNotBuilt):
+            sim.join_member()
+
+    def test_participating_ap_count_matches_config(self, structural_sim):
+        assert len(structural_sim.access_proxies()) == 12
+
+    def test_rings_respect_ring_size(self, structural_sim):
+        for ap in structural_sim.access_proxies():
+            assert len(structural_sim.ring_of(ap)) <= 4
+
+    def test_hierarchy_is_valid(self, structural_sim):
+        structural_sim.hierarchy.validate()
+
+    def test_hosts_per_ap_preattached(self):
+        sim = RGBSimulation(SimulationConfig(num_aps=6, ring_size=3, hosts_per_ap=2, seed=1)).build()
+        assert len(sim.global_membership()) == 12
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(num_aps=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(ring_size=1)
+        with pytest.raises(ValueError):
+            SimulationConfig(engine_mode="quantum")
+
+
+class TestFacadeOperations:
+    def test_join_leave_cycle(self, structural_sim):
+        member = structural_sim.join_member(ap_index=0, guid="alice")
+        structural_sim.run_until_quiescent()
+        assert member.guid in structural_sim.global_membership()
+        structural_sim.leave_member("alice")
+        structural_sim.run_until_quiescent()
+        assert "alice" not in structural_sim.global_membership()
+
+    def test_fail_member(self, structural_sim):
+        structural_sim.join_member(ap_index=1, guid="bob")
+        structural_sim.run_until_quiescent()
+        structural_sim.fail_member("bob")
+        structural_sim.run_until_quiescent()
+        assert "bob" not in structural_sim.global_membership()
+
+    def test_unknown_member_operations_rejected(self, structural_sim):
+        with pytest.raises(ValueError):
+            structural_sim.leave_member("ghost")
+        with pytest.raises(ValueError):
+            structural_sim.handoff_member("ghost", structural_sim.access_proxies()[0])
+
+    def test_handoff_updates_location(self, structural_sim):
+        aps = structural_sim.access_proxies()
+        structural_sim.join_member(ap_id=aps[0], guid="alice")
+        structural_sim.run_until_quiescent()
+        record = structural_sim.handoff_member("alice", aps[1])
+        structural_sim.run_until_quiescent()
+        assert record.to_ap == aps[1]
+        stats = structural_sim.handoff_statistics()
+        assert stats["handoffs"] == 1.0
+
+    def test_query_schemes_agree(self, structural_sim):
+        for i in range(4):
+            structural_sim.join_member(ap_index=i)
+        structural_sim.run_until_quiescent()
+        tms = structural_sim.query(MembershipScheme.TMS)
+        bms = structural_sim.query(MembershipScheme.BMS)
+        assert tms.guids == bms.guids
+        assert len(tms) == 4
+
+    def test_membership_events_filtered_to_top_leader(self, structural_sim):
+        structural_sim.join_member(ap_index=0, guid="alice")
+        structural_sim.run_until_quiescent()
+        events = structural_sim.membership_events()
+        assert len(events) == 1
+        assert str(events[0].member.guid) == "alice"
+
+    def test_crash_entity_and_partition_report(self, structural_sim):
+        aps = structural_sim.access_proxies()
+        structural_sim.join_member(ap_id=aps[0], guid="alice")
+        structural_sim.run_until_quiescent()
+        structural_sim.crash_entity(aps[1])
+        structural_sim.join_member(ap_id=aps[0], guid="bob")
+        structural_sim.run_until_quiescent()
+        report = structural_sim.partition_report()
+        assert report.count == 1
+        assert "alice" in structural_sim.global_membership()
+
+    def test_metric_snapshot_has_round_counters(self, structural_sim):
+        structural_sim.join_member(ap_index=0)
+        structural_sim.run_until_quiescent()
+        snapshot = structural_sim.metric_snapshot()
+        assert snapshot["counter.rounds.completed"] > 0
+
+    def test_ap_index_out_of_range(self, structural_sim):
+        with pytest.raises(ValueError):
+            structural_sim.join_member(ap_index=99)
+        with pytest.raises(ValueError):
+            structural_sim.join_member(ap_id="not-an-ap")
+
+    def test_mobility_trace_replay(self, structural_sim):
+        model = structural_sim.default_mobility_model(mean_residency=50.0, mean_session=150.0)
+        trace = model.generate_population(num_hosts=5, arrival_rate=1.0, horizon=200.0)
+        counts = structural_sim.apply_mobility_trace(trace)
+        assert counts["joins"] == 5
+        assert counts["joins"] - counts["leaves"] == len(structural_sim.global_membership())
+
+
+class TestWorkloads:
+    def test_churn_population_consistency(self):
+        workload = ChurnWorkload(ap_ids=["a", "b", "c"], join_rate=1.0, leave_rate=0.01, horizon=100.0, seed=4)
+        events = workload.generate()
+        population = set()
+        for event in events:
+            if event.kind is ChurnKind.JOIN:
+                assert event.member not in population
+                population.add(event.member)
+            else:
+                assert event.member in population
+                population.remove(event.member)
+        summary = ChurnWorkload.summarize(events)
+        assert summary["total"] == len(events)
+        assert summary["join"] >= summary["leave"] + summary["failure"]
+
+    def test_churn_events_are_time_ordered(self):
+        events = ChurnWorkload(ap_ids=["a"], join_rate=2.0, horizon=50.0, seed=1).generate()
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(t <= 50.0 for t in times)
+
+    def test_churn_validation(self):
+        with pytest.raises(ValueError):
+            ChurnWorkload(ap_ids=[], join_rate=1.0)
+        with pytest.raises(ValueError):
+            ChurnWorkload(ap_ids=["a"], join_rate=0.0)
+
+    def test_handoff_storm_locality(self):
+        attachment = {f"m{i}": "ap-0" for i in range(10)}
+        neighbors = {"ap-0": ["ap-1"], "ap-1": ["ap-0"], "ap-2": []}
+        storm = HandoffStorm(
+            attachment=attachment, neighbor_map=neighbors, handoffs=200, locality=1.0, seed=2
+        )
+        events = storm.generate()
+        assert events
+        assert HandoffStorm.locality_ratio(events) > 0.9
+
+    def test_handoff_storm_moves_members_consistently(self):
+        attachment = {"m0": "ap-0", "m1": "ap-1"}
+        neighbors = {"ap-0": ["ap-1", "ap-2"], "ap-1": ["ap-0"], "ap-2": ["ap-0"]}
+        storm = HandoffStorm(attachment=attachment, neighbor_map=neighbors, handoffs=50, seed=3)
+        events = storm.generate()
+        location = dict(attachment)
+        for event in events:
+            assert location[event.member] == event.from_ap
+            location[event.member] = event.to_ap
+
+    def test_handoff_storm_validation(self):
+        with pytest.raises(ValueError):
+            HandoffStorm(attachment={}, neighbor_map={}, handoffs=10)
+        with pytest.raises(ValueError):
+            HandoffStorm(attachment={"m": "a"}, neighbor_map={}, locality=2.0)
+
+    def test_query_workload_replay(self, structural_sim):
+        for i in range(3):
+            structural_sim.join_member(ap_index=i)
+        structural_sim.run_until_quiescent()
+        workload = QueryWorkload(entry_points=structural_sim.access_proxies(), queries=12, seed=5)
+        requests = workload.generate()
+        assert len(requests) == 12
+        aggregates = QueryWorkload.replay(structural_sim.protocol, requests)
+        assert aggregates
+        for bucket in aggregates.values():
+            assert bucket["mean_members"] == 3.0
+
+    def test_query_workload_validation(self):
+        with pytest.raises(ValueError):
+            QueryWorkload(entry_points=[], queries=5)
+        with pytest.raises(ValueError):
+            QueryWorkload(entry_points=["a"], queries=0)
