@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Kernel performance trajectory: one-round propagation throughput.
+
+Measures the ops/s of full One-Round Token Passing propagations on the
+paper's regular hierarchies at r=8 for h in {3, 4, 5} (n = 512 / 4096 /
+32768 access proxies) on both the batched-delta and the seed per-operation
+apply paths, and writes the results to ``BENCH_kernel.json`` next to this
+script so future PRs can track the perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [--joins N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import ProtocolConfig
+from repro.core.hierarchy import HierarchyBuilder
+from repro.core.one_round import OneRoundEngine
+
+RING_SIZE = 8
+HEIGHTS = (3, 4, 5)
+
+
+def measure_configuration(height: int, joins: int, batched: bool) -> dict:
+    """Propagate a ``joins``-sized burst on the r=8, h=``height`` hierarchy."""
+    config = ProtocolConfig(aggregation_delay=0.0, batched_apply=batched)
+    build_start = time.perf_counter()
+    hierarchy = HierarchyBuilder("bench").regular(ring_size=RING_SIZE, height=height)
+    engine = OneRoundEngine(hierarchy, config=config)
+    build_seconds = time.perf_counter() - build_start
+    aps = hierarchy.access_proxies()
+    stride = max(1, len(aps) // joins)
+    for index in range(joins):
+        engine.member_join(aps[(index * stride) % len(aps)], f"bench-{index:06d}")
+    start = time.perf_counter()
+    report = engine.propagate()
+    elapsed = time.perf_counter() - start
+    return {
+        "ring_size": RING_SIZE,
+        "height": height,
+        "access_proxies": len(aps),
+        "rings": hierarchy.total_rings,
+        "batched_apply": batched,
+        "joins": joins,
+        "build_seconds": round(build_seconds, 4),
+        "propagate_seconds": round(elapsed, 4),
+        "ops_per_second": round(joins / elapsed, 2) if elapsed > 0 else None,
+        "rounds": report.round_count,
+        "hop_count": report.hop_count,
+        "hops_per_second": round(report.hop_count / elapsed, 1) if elapsed > 0 else None,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--joins", type=int, default=32, help="joins per measured burst")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent / "BENCH_kernel.json",
+        help="output JSON path",
+    )
+    args = parser.parse_args(argv)
+    if args.joins < 1:
+        parser.error(f"--joins must be >= 1, got {args.joins}")
+
+    results = []
+    for height in HEIGHTS:
+        for batched in (True, False):
+            row = measure_configuration(height, args.joins, batched)
+            results.append(row)
+            mode = "batched" if batched else "per-op"
+            print(
+                f"r={RING_SIZE} h={height} n={row['access_proxies']:>6} [{mode:>7}]: "
+                f"{row['propagate_seconds']:.3f}s, {row['ops_per_second']} ops/s, "
+                f"{row['rounds']} rounds"
+            )
+
+    payload = {
+        "benchmark": "one-round propagation throughput (Table I hierarchies, r=8)",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": results,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,9 +9,13 @@ The subpackage implements Section 4 of the paper:
 * :mod:`repro.core.ring` / :mod:`repro.core.hierarchy` — the ring-based
   hierarchy of access proxies, access gateways and border routers
   (Section 4.1, Figure 2).
-* :mod:`repro.core.one_round` / :mod:`repro.core.protocol` — the One-Round
-  Token Passing Membership algorithm and the per-entity protocol engine
-  (Section 4.3, Figure 3).
+* :mod:`repro.core.kernel` / :mod:`repro.core.deltas` — the unified,
+  transport-agnostic token-round state machine (round orchestration,
+  notification/acknowledgement routing, seen-set dedup) and the batched
+  membership deltas it applies in a single pass.
+* :mod:`repro.core.one_round` / :mod:`repro.core.protocol` — the two thin
+  drivers of the kernel: deterministic structural stepping vs. message
+  scheduling on the discrete-event transport (Section 4.3, Figure 3).
 * :mod:`repro.core.query` — the Membership-Query algorithm with the TMS, BMS
   and IMS maintenance schemes (Section 4.4).
 * :mod:`repro.core.handoff` — Member-Handoff fast path using neighbour member
@@ -26,6 +30,8 @@ The subpackage implements Section 4 of the paper:
 """
 
 from repro.core.config import ProtocolConfig, SimulationConfig
+from repro.core.deltas import DeltaBuilder, DeltaEntry, MembershipDelta
+from repro.core.kernel import PropagationReport, RoundResult, TokenRoundKernel
 from repro.core.identifiers import GroupId, NodeId, GloballyUniqueId, LocallyUniqueId
 from repro.core.member import MemberInfo, MemberStatus, MobileHostState
 from repro.core.entity import EntityRole, NetworkEntityState
@@ -40,6 +46,12 @@ from repro.core.simulation import RGBSimulation
 __all__ = [
     "ProtocolConfig",
     "SimulationConfig",
+    "DeltaBuilder",
+    "DeltaEntry",
+    "MembershipDelta",
+    "TokenRoundKernel",
+    "RoundResult",
+    "PropagationReport",
     "GroupId",
     "NodeId",
     "GloballyUniqueId",

@@ -116,6 +116,29 @@ class HandoffManager:
         self.stats.records.append(record)
         return record
 
+    def handoff_batch(
+        self,
+        moves: "List[tuple]",
+        now: float = 0.0,
+        propagate: bool = True,
+    ) -> Optional[PropagationReport]:
+        """Capture a storm of ``(guid, from_ap, to_ap)`` moves, then propagate once.
+
+        All handoffs are enqueued before any token round runs, so they
+        aggregate into shared rounds and the kernel applies each ring's
+        operations as one compiled :class:`repro.core.deltas.MembershipDelta`
+        (the batched path) — the per-handoff fast-path statistics are still
+        recorded individually.
+        """
+        for guid, from_ap, to_ap in moves:
+            self.handoff(guid, from_ap, to_ap, now=now)
+        if not propagate:
+            return None
+        if isinstance(self.engine, OneRoundEngine):
+            return self.engine.propagate(now=now)
+        self.engine.run_until_quiescent()
+        return None
+
     def handoff_and_propagate(
         self,
         guid: str,

@@ -32,6 +32,12 @@ class _Identifier:
                 f"{type(self).__name__} requires a non-empty string, got {self.value!r}"
             )
 
+    def __hash__(self) -> int:
+        # Hash the wrapped string directly (str caches its hash) instead of
+        # the generated dataclass field-tuple hash; identifiers are dict keys
+        # on every hot path of the protocol kernel.
+        return hash(self.value)
+
     def __str__(self) -> str:
         return self.value
 

@@ -1,0 +1,967 @@
+"""The unified token-round kernel (paper Section 4.3, Figure 3).
+
+The seed repository implemented the One-Round Token Passing protocol twice —
+structurally in :mod:`repro.core.one_round` and latency-aware in
+:mod:`repro.core.protocol` — with duplicated round, notification and
+acknowledgement semantics.  This module is the single, transport-agnostic
+state machine both engines now drive:
+
+* **operation factory** — sequence numbers, member epochs, LUID derivation and
+  record lookup for Member-Join/Leave/Failure/Handoff and the failure
+  operations emitted by ring repair;
+* **round orchestration** — queue draining with child-sender tracking, token
+  circulation order, ``RingOK``/``ParentOK`` gating, Notification-to-Parent /
+  Notification-to-Child routing, Holder-Acknowledgement targets and per-ring
+  seen-set dedup ("at most one membership change message propagated along a
+  ring");
+* **batched application** — each round compiles its aggregated operations into
+  one :class:`repro.core.deltas.MembershipDelta` and applies it to every
+  visited entity in a single set-based pass (the seed's per-operation path is
+  kept behind ``ProtocolConfig.batched_apply=False`` as the reference
+  semantics and the ablation baseline);
+* **coverage and repair** — subtree-walk coverage sets (the seed recomputed
+  coverage by scanning every access proxy's full ancestry per ring, which is
+  quadratic at 100k proxies) and the hierarchy surgery shared by both repair
+  paths.
+
+The drivers stay thin: :class:`repro.core.one_round.OneRoundEngine` steps the
+kernel synchronously (shared memory, zero latency) while
+:class:`repro.core.protocol.RGBProtocolCluster` schedules the same decisions
+as messages on the discrete-event transport.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.config import ProtocolConfig
+from repro.core.deltas import MembershipDelta
+from repro.core.entity import NetworkEntityState
+from repro.core.events import MembershipEventBus
+from repro.core.hierarchy import RingHierarchy
+from repro.core.identifiers import (
+    GloballyUniqueId,
+    NodeId,
+    coerce_guid,
+    coerce_node,
+    make_luid,
+)
+from repro.core.member import MemberInfo, MemberStatus
+from repro.core.membership import MembershipEvent, event_type_for
+from repro.core.ring import LogicalRing
+from repro.core.token import Token, TokenOperation, TokenOperationType
+from repro.sim.stats import MetricRegistry
+from repro.sim.trace import TraceRecorder
+
+
+class ProtocolError(RuntimeError):
+    """Raised for invalid protocol-level requests."""
+
+
+OperationBatch = Union[MembershipDelta, Sequence[TokenOperation]]
+
+
+@dataclass
+class RoundResult:
+    """Outcome of one token round in one ring."""
+
+    ring_id: str
+    holder: NodeId
+    operations: Tuple[TokenOperation, ...]
+    token_hops: int = 0
+    notify_hops: int = 0
+    ack_hops: int = 0
+    retransmissions: int = 0
+    visited: List[NodeId] = field(default_factory=list)
+    repaired: List[NodeId] = field(default_factory=list)
+    events: List[MembershipEvent] = field(default_factory=list)
+
+    @property
+    def hop_count(self) -> int:
+        """Hops counted the way the paper's Section 5.1 model counts them."""
+        return self.token_hops + self.notify_hops
+
+
+@dataclass
+class PropagationReport:
+    """Aggregate outcome of :meth:`TokenRoundKernel.propagate`."""
+
+    rounds: List[RoundResult] = field(default_factory=list)
+
+    @property
+    def round_count(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def token_hops(self) -> int:
+        return sum(r.token_hops for r in self.rounds)
+
+    @property
+    def notify_hops(self) -> int:
+        return sum(r.notify_hops for r in self.rounds)
+
+    @property
+    def ack_hops(self) -> int:
+        return sum(r.ack_hops for r in self.rounds)
+
+    @property
+    def retransmissions(self) -> int:
+        return sum(r.retransmissions for r in self.rounds)
+
+    @property
+    def hop_count(self) -> int:
+        """Token hops plus notification hops (the paper's HopCount)."""
+        return self.token_hops + self.notify_hops
+
+    @property
+    def events(self) -> List[MembershipEvent]:
+        out: List[MembershipEvent] = []
+        for r in self.rounds:
+            out.extend(r.events)
+        return out
+
+    @property
+    def repaired(self) -> List[NodeId]:
+        out: List[NodeId] = []
+        for r in self.rounds:
+            out.extend(r.repaired)
+        return out
+
+    @property
+    def rings_involved(self) -> Set[str]:
+        return {r.ring_id for r in self.rounds}
+
+
+class TokenRoundKernel:
+    """Transport-agnostic execution core of the RGB membership protocol.
+
+    Parameters
+    ----------
+    hierarchy:
+        The ring-based hierarchy to run over.  The kernel mutates it when it
+        repairs rings after entity failures.
+    config, metrics, event_bus, trace:
+        Protocol tunables and shared instrumentation.
+    entities:
+        Per-entity local state.  Built from the hierarchy when not supplied;
+        the event-driven driver passes the states its protocol nodes wrap so
+        both layers observe the same lists.
+    emit_prune_events:
+        Whether removing a member record that moved *out* of a ring's coverage
+        area emits a membership event at the observing entity.  The structural
+        engine historically reported these; the message-passing engine did
+        not.  Both behaviours are preserved per driver.
+    """
+
+    def __init__(
+        self,
+        hierarchy: RingHierarchy,
+        config: Optional[ProtocolConfig] = None,
+        metrics: Optional[MetricRegistry] = None,
+        event_bus: Optional[MembershipEventBus] = None,
+        trace: Optional[TraceRecorder] = None,
+        entities: Optional[Mapping[NodeId, NetworkEntityState]] = None,
+        emit_prune_events: bool = True,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.config = config if config is not None else ProtocolConfig()
+        self.metrics = metrics if metrics is not None else MetricRegistry()
+        self.event_bus = event_bus if event_bus is not None else MembershipEventBus()
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.entities: Dict[NodeId, NetworkEntityState] = (
+            dict(entities) if entities is not None else hierarchy.build_entity_states()
+        )
+        for entity in self.entities.values():
+            entity.mq.aggregate = self.config.aggregate_mq
+        self.emit_prune_events = emit_prune_events
+        self.failed: Set[NodeId] = set()
+        self._op_sequence = itertools.count(1)
+        self._member_epochs: Dict[str, int] = {}
+        self.ring_seen: Dict[str, Set[int]] = {ring_id: set() for ring_id in hierarchy.rings}
+        self._ring_holder: Dict[str, NodeId] = {}
+        self._coverage_cache: Dict[str, Set[str]] = {}
+        # Ring tiers are fixed at construction (repair removes members, never
+        # whole tiers), so the bottom tier is safe to pin for the hot paths.
+        self._bottom_tier = hierarchy.bottom_tier()
+
+    # ------------------------------------------------------------------
+    # entity access
+    # ------------------------------------------------------------------
+
+    def entity(self, node: "NodeId | str") -> NetworkEntityState:
+        key = coerce_node(node)
+        try:
+            return self.entities[key]
+        except KeyError:
+            raise ProtocolError(f"unknown network entity {node}") from None
+
+    def is_operational(self, node: "NodeId | str") -> bool:
+        return coerce_node(node) not in self.failed
+
+    def operational_entities(self) -> List[NodeId]:
+        return [n for n in self.entities if n not in self.failed]
+
+    # ------------------------------------------------------------------
+    # operation factory (shared by both drivers)
+    # ------------------------------------------------------------------
+
+    def next_sequence(self) -> int:
+        return next(self._op_sequence)
+
+    def next_epoch(self, guid: str) -> int:
+        epoch = self._member_epochs.get(guid, 0) + 1
+        self._member_epochs[guid] = epoch
+        return epoch
+
+    def make_join_op(
+        self, ap: "NodeId | str", guid: "GloballyUniqueId | str"
+    ) -> TokenOperation:
+        """A mobile host joins the group at access proxy ``ap``."""
+        ap_id = coerce_node(ap)
+        guid_id = coerce_guid(guid)
+        member = MemberInfo(
+            guid=guid_id,
+            group=self.hierarchy.group,
+            ap=ap_id,
+            luid=make_luid(ap_id, guid_id, self.next_epoch(str(guid_id))),
+            status=MemberStatus.OPERATIONAL,
+        )
+        return TokenOperation(
+            op_type=TokenOperationType.MEMBER_JOIN,
+            origin=ap_id,
+            member=member,
+            sequence=self.next_sequence(),
+        )
+
+    def make_leave_op(
+        self, ap: "NodeId | str", guid: "GloballyUniqueId | str"
+    ) -> TokenOperation:
+        """A mobile host voluntarily leaves the group."""
+        ap_id = coerce_node(ap)
+        member = self.lookup_member(ap_id, coerce_guid(guid))
+        return TokenOperation(
+            op_type=TokenOperationType.MEMBER_LEAVE,
+            origin=ap_id,
+            member=member.with_status(MemberStatus.LEFT),
+            sequence=self.next_sequence(),
+        )
+
+    def make_failure_op(
+        self, ap: "NodeId | str", guid: "GloballyUniqueId | str"
+    ) -> TokenOperation:
+        """A mobile host is detected faulty by its access proxy."""
+        ap_id = coerce_node(ap)
+        member = self.lookup_member(ap_id, coerce_guid(guid))
+        return TokenOperation(
+            op_type=TokenOperationType.MEMBER_FAILURE,
+            origin=ap_id,
+            member=member.with_status(MemberStatus.FAILED),
+            sequence=self.next_sequence(),
+        )
+
+    def make_handoff_op(
+        self,
+        guid: "GloballyUniqueId | str",
+        old_ap: "NodeId | str",
+        new_ap: "NodeId | str",
+    ) -> TokenOperation:
+        """A mobile host hands off from ``old_ap`` to ``new_ap``.
+
+        The change is captured at the *new* access proxy (the paper's
+        Member-Handoff); the old access proxy's local list is updated directly,
+        modelling the Mobile-IP style binding update the host performs, and the
+        propagated operation carries ``previous_ap`` so every view can move the
+        member rather than duplicate it.
+        """
+        old_id = coerce_node(old_ap)
+        new_id = coerce_node(new_ap)
+        guid_id = coerce_guid(guid)
+        member = self.lookup_member(old_id, guid_id)
+        moved = member.handed_off_to(new_id, self.next_epoch(str(guid_id)))
+        # Fast local update at the old proxy (fast-handoff path).
+        if old_id in self.entities:
+            self.entities[old_id].unregister_local_member(str(guid_id))
+        return TokenOperation(
+            op_type=TokenOperationType.MEMBER_HANDOFF,
+            origin=new_id,
+            member=moved,
+            previous_ap=old_id,
+            sequence=self.next_sequence(),
+        )
+
+    def lookup_member(self, ap: NodeId, guid: GloballyUniqueId) -> MemberInfo:
+        """Find the current record for ``guid``, preferring the AP's local list."""
+        if ap in self.entities:
+            entity = self.entities[ap]
+            record = entity.local_members.get(guid)
+            if record is not None:
+                return record
+            record = entity.ring_members.get(guid)
+            if record is not None:
+                return record
+        # Fall back to the global view (e.g. leave reported via a different AP).
+        top_leader = self.hierarchy.topmost_ring().leader
+        if top_leader is not None and top_leader in self.entities:
+            record = self.entities[top_leader].ring_members.get(guid)
+            if record is not None:
+                return record
+        # Unknown member: synthesise a record so the departure still propagates.
+        return MemberInfo(
+            guid=guid,
+            group=self.hierarchy.group,
+            ap=ap,
+            luid=make_luid(ap, guid, self.next_epoch(str(guid))),
+            status=MemberStatus.OPERATIONAL,
+        )
+
+    def failure_operations(
+        self, failed: NodeId, observer: Optional[NodeId]
+    ) -> List[TokenOperation]:
+        """Operations reporting an entity failure and the members lost with it."""
+        ops: List[TokenOperation] = []
+        if observer is not None and observer in self.entities:
+            for member in self.entities[observer].ring_members.members_at(failed):
+                ops.append(
+                    TokenOperation(
+                        op_type=TokenOperationType.MEMBER_FAILURE,
+                        origin=observer,
+                        member=member.with_status(MemberStatus.FAILED),
+                        sequence=self.next_sequence(),
+                    )
+                )
+        ops.append(
+            TokenOperation(
+                op_type=TokenOperationType.NE_FAILURE,
+                origin=observer if observer is not None else failed,
+                entity=failed,
+                sequence=self.next_sequence(),
+            )
+        )
+        return ops
+
+    # ------------------------------------------------------------------
+    # capture and seen-set dedup
+    # ------------------------------------------------------------------
+
+    def capture(self, ap: "NodeId | str", operation: TokenOperation, now: float) -> TokenOperation:
+        """Insert ``operation`` into the access proxy's queue and mark it seen."""
+        ap_id = coerce_node(ap)
+        self.entity(ap_id).mq.insert(operation, sender=ap_id, now=now)
+        ring_id = self.hierarchy.ring_of(ap_id).ring_id
+        self.ring_seen[ring_id].add(operation.sequence)
+        self.metrics.counter(f"capture.{operation.op_type.value}").increment()
+        if self.trace.enabled:
+            self.trace.record(now, "capture", str(ap_id), operation.describe())
+        return operation
+
+    def fresh_for_ring(
+        self, ring_id: str, operations: Sequence[TokenOperation]
+    ) -> List[TokenOperation]:
+        """Operations the target ring has not seen yet (notification filter)."""
+        seen = self.ring_seen[ring_id]
+        return [op for op in operations if op.sequence not in seen]
+
+    def mark_seen(self, ring_id: str, operations: Iterable[TokenOperation]) -> None:
+        seen = self.ring_seen[ring_id]
+        for op in operations:
+            seen.add(op.sequence)
+
+    # ------------------------------------------------------------------
+    # round plumbing shared by both drivers
+    # ------------------------------------------------------------------
+
+    def drain_for_round(
+        self, entity: NetworkEntityState, ring_members: Sequence[NodeId]
+    ) -> Tuple[Tuple[TokenOperation, ...], List[NodeId]]:
+        """Drain the holder's queue into the token's aggregated operations.
+
+        Returns the operations plus the distinct out-of-ring senders whose
+        notifications the holder aggregated (Holder-Acknowledgement targets,
+        Figure 3 lines 17-20).
+        """
+        entries = entity.mq.drain_entries()
+        operations = tuple(e.operation for e in entries)
+        holder = entity.current
+        members = set(ring_members)
+        child_senders = [
+            e.sender for e in entries if e.sender != holder and e.sender not in members
+        ]
+        return operations, child_senders
+
+    def upward_target(
+        self, entity: NetworkEntityState, leader: Optional[NodeId]
+    ) -> Optional[NodeId]:
+        """Figure 3 lines 10-13 gate: the ring leader with a healthy parent link."""
+        if (
+            leader is not None
+            and entity.current == leader
+            and entity.parent_ok
+            and entity.parent is not None
+        ):
+            return entity.parent
+        return None
+
+    def downward_targets(self, entity: NetworkEntityState) -> List[NodeId]:
+        """Figure 3 lines 14-16: child ring leaders to notify."""
+        if not self.config.disseminate_downward:
+            return []
+        return list(entity.children)
+
+    def ack_targets(self, child_senders: Sequence) -> List:
+        """Distinct Holder-Acknowledgement recipients, first-seen order."""
+        return list(dict.fromkeys(child_senders))
+
+    # ------------------------------------------------------------------
+    # coverage bookkeeping
+    # ------------------------------------------------------------------
+
+    def coverage(self, ring_id: str) -> Set[str]:
+        """Access proxies whose members fall within the ring's coverage area.
+
+        Computed by walking the child-ring subtree under each ring member —
+        O(subtree) per ring instead of the seed's O(proxies × height) scan —
+        and cached until the hierarchy changes.
+        """
+        cached = self._coverage_cache.get(ring_id)
+        if cached is not None:
+            return cached
+        hierarchy = self.hierarchy
+        bottom = self._bottom_tier
+        rings = hierarchy.rings
+        ring_of_node = hierarchy.ring_of_node
+        child_rings = hierarchy.child_rings
+        covered: Set[str] = set()
+        stack: List[NodeId] = list(hierarchy.ring(ring_id).members)
+        while stack:
+            node = stack.pop()
+            node_ring_id = ring_of_node.get(node)
+            if node_ring_id is not None and rings[node_ring_id].tier == bottom:
+                covered.add(node.value)
+            for child_ring_id in child_rings.get(node, ()):
+                stack.extend(rings[child_ring_id].members)
+        self._coverage_cache[ring_id] = covered
+        return covered
+
+    def invalidate_coverage(self) -> None:
+        self._coverage_cache.clear()
+
+    # ------------------------------------------------------------------
+    # operation application (Figure 3 line 08)
+    # ------------------------------------------------------------------
+
+    def compile_delta(self, operations: Sequence[TokenOperation]) -> MembershipDelta:
+        """Compile an aggregated operation batch once for a whole round."""
+        return MembershipDelta.from_operations(operations)
+
+    def apply_operations_at(
+        self,
+        node: "NodeId | str | NetworkEntityState",
+        ring: LogicalRing,
+        operations: OperationBatch,
+        now: float,
+        batched: Optional[bool] = None,
+    ) -> List[MembershipEvent]:
+        """Execute the token's operations on one entity's member lists.
+
+        ``operations`` may be a raw operation sequence or an already compiled
+        :class:`MembershipDelta`.  Every event that changed a view is
+        published on the kernel's event bus and returned.
+        """
+        entity = node if isinstance(node, NetworkEntityState) else self.entity(node)
+        if batched is None:
+            batched = self.config.batched_apply
+        if isinstance(operations, MembershipDelta):
+            events = self._apply_delta(entity, ring, operations, now)
+        elif batched:
+            events = self._apply_delta(entity, ring, self.compile_delta(operations), now)
+        else:
+            events = self._apply_per_op(entity, ring, operations, now)
+        for event in events:
+            self.event_bus.publish(event)
+        return events
+
+    def _apply_delta(
+        self,
+        entity: NetworkEntityState,
+        ring: LogicalRing,
+        delta: MembershipDelta,
+        now: float,
+    ) -> List[MembershipEvent]:
+        """Set-based single-pass application of a compiled delta."""
+        if not delta.entries:
+            return []
+        events: List[MembershipEvent] = []
+        coverage = self.coverage(ring.ring_id)
+        node = entity.current
+        is_bottom = ring.tier == self._bottom_tier
+        local = entity.local_members
+        neighbor = entity.neighbor_members
+        ring_view = entity.ring_members
+        ring_member_set = set(ring.members) if is_bottom else None
+        emit_prune = self.emit_prune_events
+        for entry in delta.entries:
+            op = entry.operation
+            member = op.member
+            assert member is not None
+            resolved = entry.resolved
+            guid_value = entry.guid_value
+            adding = resolved is not None
+            in_coverage = member.ap.value in coverage
+
+            if is_bottom:
+                # Local member list: only the access proxy the member is attached to.
+                if adding and member.ap == node:
+                    local.add(resolved)
+                elif guid_value in local and (member.ap != node or not adding):
+                    local.remove(guid_value)
+                # Neighbour member list: members at the *other* proxies of this ring.
+                if member.ap != node and member.ap in ring_member_set:
+                    if adding:
+                        neighbor.add(resolved)
+                    else:
+                        neighbor.remove(guid_value)
+                elif guid_value in neighbor and member.ap not in ring_member_set:
+                    neighbor.remove(guid_value)
+
+            # Ring member list: members within the ring's coverage area.
+            event: Optional[MembershipEvent] = None
+            if adding:
+                if in_coverage:
+                    if ring_view.add(resolved):
+                        event = self._event(op, node, now, len(ring_view))
+                elif ring_view.remove(guid_value) and emit_prune:
+                    event = self._event(op, node, now, len(ring_view))
+            elif ring_view.remove(guid_value):
+                event = self._event(op, node, now, len(ring_view))
+            if event is not None:
+                events.append(event)
+        return events
+
+    def _apply_per_op(
+        self,
+        entity: NetworkEntityState,
+        ring: LogicalRing,
+        operations: Sequence[TokenOperation],
+        now: float,
+    ) -> List[MembershipEvent]:
+        """The seed's per-operation reference path (ablation baseline).
+
+        Faithful port of the original engines' loop, including the sorted
+        GUID-list probes — this is the path the batched delta is benchmarked
+        against.
+        """
+        events: List[MembershipEvent] = []
+        coverage = self.coverage(ring.ring_id)
+        bottom_tier = self._bottom_tier
+        node = entity.current
+        for op in operations:
+            if not op.op_type.concerns_member or op.member is None:
+                continue
+            member = op.member
+            in_coverage = member.ap.value in coverage
+
+            if ring.tier == bottom_tier:
+                if member.ap == node and op.op_type in (
+                    TokenOperationType.MEMBER_JOIN,
+                    TokenOperationType.MEMBER_HANDOFF,
+                ):
+                    entity.local_members.add(member)
+                elif str(member.guid) in entity.local_members.guids() and (
+                    member.ap != node
+                    or op.op_type
+                    in (TokenOperationType.MEMBER_LEAVE, TokenOperationType.MEMBER_FAILURE)
+                ):
+                    entity.local_members.remove(member.guid)
+
+                if member.ap != node and member.ap in ring.members:
+                    if op.op_type in (
+                        TokenOperationType.MEMBER_JOIN,
+                        TokenOperationType.MEMBER_HANDOFF,
+                    ):
+                        entity.neighbor_members.add(member)
+                    else:
+                        entity.neighbor_members.remove(member.guid)
+                elif (
+                    str(member.guid) in entity.neighbor_members.guids()
+                    and member.ap not in ring.members
+                ):
+                    entity.neighbor_members.remove(member.guid)
+
+            if op.op_type in (TokenOperationType.MEMBER_JOIN, TokenOperationType.MEMBER_HANDOFF):
+                if in_coverage:
+                    event = entity.ring_members.apply(op, now)
+                elif str(member.guid) in entity.ring_members.guids():
+                    removed = entity.ring_members.remove(member.guid)
+                    event = (
+                        self._event(op, node, now, len(entity.ring_members))
+                        if removed and self.emit_prune_events
+                        else None
+                    )
+                else:
+                    event = None
+            else:
+                event = entity.ring_members.apply(op, now)
+            if event is not None:
+                events.append(event)
+        return events
+
+    @staticmethod
+    def _event(
+        op: TokenOperation, observer: NodeId, now: float, view_size: int
+    ) -> MembershipEvent:
+        return MembershipEvent(
+            event_type=event_type_for(op.op_type),
+            time=now,
+            observer=observer,
+            member=op.member,
+            previous_ap=op.previous_ap,
+            view_size=view_size,
+        )
+
+    # ------------------------------------------------------------------
+    # entity failure and repair (hierarchy surgery shared by both drivers)
+    # ------------------------------------------------------------------
+
+    def fail_entity(self, node: "NodeId | str", now: float = 0.0) -> None:
+        """Mark a network entity as crashed.
+
+        Detection and repair happen lazily, when a token round next tries to
+        visit the failed entity (Section 5.2: detection by token
+        retransmission, local repair by exclusion).  Use
+        :meth:`detect_and_repair` to force immediate handling.
+        """
+        key = coerce_node(node)
+        if key not in self.entities:
+            raise ProtocolError(f"unknown network entity {node}")
+        self.failed.add(key)
+        self.metrics.counter("faults.entity").increment()
+        self.trace.record(now, "fault", str(key), "entity crashed")
+
+    def exclude_entity(
+        self,
+        failed: NodeId,
+        repoint_survivors: bool = False,
+        patch_parent_link: bool = False,
+    ) -> LogicalRing:
+        """Exclude ``failed`` from its ring and patch the hierarchy around it.
+
+        ``repoint_survivors`` re-installs the surviving members' previous /
+        next / leader pointers from global knowledge (structural driver);
+        the message-passing driver leaves survivors to learn the repaired
+        view from the token (Totem-style) and passes ``False``.
+        ``patch_parent_link`` moves the failed node's slot in its parent's
+        child list to the ring's (new) leader.
+        """
+        ring = self.hierarchy.ring_of(failed)
+        was_leader = ring.remove_member(failed)
+        if was_leader:
+            ring.elect_leader()
+        self.hierarchy.ring_of_node.pop(failed, None)
+        self.invalidate_coverage()
+
+        if repoint_survivors and ring.leader is not None:
+            for member in ring.members:
+                self.entity(member).set_ring_pointers(
+                    ring_id=ring.ring_id,
+                    leader=ring.leader,
+                    previous=ring.predecessor(member),
+                    next_node=ring.successor(member),
+                )
+
+        # Child rings of the failed node re-attach to the ring's (new) leader.
+        orphan_rings = self.hierarchy.child_rings.pop(failed, [])
+        new_parent = ring.leader
+        if orphan_rings and new_parent is not None:
+            for ring_id in orphan_rings:
+                self.hierarchy.parent_node[ring_id] = new_parent
+                self.hierarchy.child_rings.setdefault(new_parent, []).append(ring_id)
+                child_leader = self.hierarchy.ring(ring_id).leader
+                if child_leader is not None and new_parent in self.entities:
+                    self.entities[new_parent].add_child(child_leader)
+                    if child_leader in self.entities:
+                        self.entities[child_leader].set_parent(new_parent)
+
+        # The failed entity's parent loses a child pointer; the ring's (new)
+        # leader takes over as that parent's child so the upward path survives.
+        if patch_parent_link:
+            parent = self.hierarchy.parent_node.get(ring.ring_id)
+            if parent is not None and parent in self.entities:
+                self.entities[parent].remove_child(failed)
+                if ring.leader is not None:
+                    self.entities[parent].add_child(ring.leader)
+                    self.entities[ring.leader].set_parent(parent)
+        return ring
+
+    def repair_ring(
+        self,
+        ring: LogicalRing,
+        failed: NodeId,
+        detector: Optional[NodeId],
+        now: float,
+    ) -> List[TokenOperation]:
+        """Structural local repair: exclude ``failed`` and report the losses."""
+        self.exclude_entity(failed, repoint_survivors=True, patch_parent_link=True)
+        failure_source = detector if detector is not None else ring.leader
+        ops = self.failure_operations(failed, failure_source)
+        self.metrics.counter("repairs.ring").increment()
+        self.trace.record(now, "repair", str(failed), f"excluded from ring {ring.ring_id}")
+        return ops
+
+    def detect_and_repair(self, node: "NodeId | str", now: float = 0.0) -> List[TokenOperation]:
+        """Immediately detect a failed entity and repair its ring."""
+        key = coerce_node(node)
+        if key not in self.failed:
+            raise ProtocolError(f"entity {node} has not failed")
+        if not self.hierarchy.has_node(key):
+            return []  # already repaired away
+        ring = self.hierarchy.ring_of(key)
+        detector = None
+        for candidate in ring.members:
+            if candidate != key and candidate not in self.failed:
+                detector = candidate
+                break
+        ops = self.repair_ring(ring, key, detector, now)
+        if detector is not None:
+            for op in ops:
+                self.entity(detector).mq.insert(op, sender=detector, now=now)
+                self.ring_seen[ring.ring_id].add(op.sequence)
+        return ops
+
+    # ------------------------------------------------------------------
+    # the one-round algorithm (structural stepping)
+    # ------------------------------------------------------------------
+
+    def run_round(
+        self,
+        ring_id: str,
+        holder: Optional["NodeId | str"] = None,
+        now: float = 0.0,
+    ) -> RoundResult:
+        """Run one token round in ``ring_id`` (Figure 3)."""
+        ring = self.hierarchy.ring(ring_id)
+        if ring.is_empty:
+            raise ProtocolError(f"ring {ring_id!r} has no members")
+        holder_id = coerce_node(holder) if holder is not None else self.pick_holder(ring)
+        if holder_id not in ring.members:
+            raise ProtocolError(f"holder {holder_id} is not a member of ring {ring_id!r}")
+        if holder_id in self.failed:
+            raise ProtocolError(f"holder {holder_id} has failed")
+
+        holder_entity = self.entity(holder_id)
+        operations, child_senders = self.drain_for_round(holder_entity, ring.members)
+        self.mark_seen(ring_id, operations)
+
+        token = Token(
+            group=self.hierarchy.group,
+            holder=holder_id,
+            ring_id=ring_id,
+            operations=operations,
+        )
+        result = RoundResult(ring_id=ring_id, holder=holder_id, operations=operations)
+        self.metrics.counter("rounds.started").increment()
+        if self.trace.enabled:
+            self.trace.record(now, "round", str(holder_id), f"start {token.describe()}")
+
+        # One compile per round: every visited member applies the same delta.
+        use_batched = self.config.batched_apply
+        batch: OperationBatch = self.compile_delta(operations) if use_batched else operations
+        track_token = self.trace.enabled  # the visit log on the token is debug-only
+        publish = self.event_bus.publish
+
+        order = ring.members_from(holder_id)
+        forwarded_up = False
+        index = 0
+        while index < len(order):
+            node = order[index]
+            if node != holder_id:
+                result.token_hops += 1
+            if node in self.failed:
+                # Detection by token retransmission, then local repair.
+                result.retransmissions += self.config.token_retry_limit + 1
+                detector = order[index - 1] if index > 0 else holder_id
+                repair_ops = self.repair_ring(ring, node, detector, now)
+                result.repaired.append(node)
+                for op in repair_ops:
+                    self.entity(detector).mq.insert(op, sender=detector, now=now)
+                    self.ring_seen[ring_id].add(op.sequence)
+                index += 1
+                continue
+
+            if track_token:
+                token = token.record_visit(node)
+            result.visited.append(node)
+            entity = self.entities[node]
+            if use_batched:
+                events = self._apply_delta(entity, ring, batch, now)
+            else:
+                events = self._apply_per_op(entity, ring, operations, now)
+            if events:
+                for event in events:
+                    publish(event)
+                result.events.extend(events)
+            entity.ring_ok = True  # Figure 3 line 09
+
+            # Figure 3 lines 10-13: leader forwards to its parent.
+            if operations:
+                parent_target = self.upward_target(entity, ring.leader)
+                if parent_target is not None:
+                    result.notify_hops += self.forward_notification(
+                        node, parent_target, operations, now
+                    )
+                    forwarded_up = True
+
+            # Figure 3 lines 14-16: notify child rings.
+            if operations:
+                for child in self.downward_targets(entity):
+                    if child in self.failed:
+                        continue
+                    result.notify_hops += self.forward_notification(node, child, operations, now)
+            index += 1
+
+        # Closing hop: the token travels from the last visited node back to the holder.
+        if len(result.visited) >= 2:
+            result.token_hops += 1
+
+        # If the ring leader failed mid-round (before its turn), the repaired
+        # ring's new leader still has to report the operations to the parent.
+        if operations and not forwarded_up and ring.leader is not None:
+            leader_entity = self.entity(ring.leader)
+            if ring.leader not in self.failed:
+                parent_target = self.upward_target(leader_entity, ring.leader)
+                if parent_target is not None:
+                    result.notify_hops += self.forward_notification(
+                        ring.leader, parent_target, operations, now
+                    )
+
+        # Figure 3 lines 17-20: Holder-Acknowledgement to originating children.
+        if self.config.holder_ack_enabled and operations:
+            for sender in self.ack_targets(child_senders):
+                if sender in self.failed:
+                    continue
+                result.ack_hops += 1
+                self.metrics.counter("messages.holder_ack").increment()
+                if self.trace.enabled:
+                    self.trace.record(now, "ack", str(holder_id), f"holder-ack to {sender}")
+
+        # Figure 3 lines 21-23: control of a fresh token moves to the next node.
+        if ring.members:
+            try:
+                self._ring_holder[ring_id] = ring.successor(holder_id)
+            except Exception:
+                self._ring_holder[ring_id] = (
+                    ring.leader if ring.leader is not None else ring.members[0]
+                )
+
+        self.metrics.counter("rounds.completed").increment()
+        self.metrics.counter("hops.token").increment(result.token_hops)
+        self.metrics.counter("hops.notify").increment(result.notify_hops)
+        self.metrics.counter("hops.ack").increment(result.ack_hops)
+        return result
+
+    def pick_holder(self, ring: LogicalRing) -> NodeId:
+        """The member that should hold the next round: current holder pointer,
+        advanced to the first operational member with pending work (or the
+        first operational member if none has work)."""
+        start = self._ring_holder.get(ring.ring_id)
+        candidates = (
+            ring.members_from(start)
+            if start is not None and start in ring.members
+            else ring.members_in_order()
+        )
+        operational = [n for n in candidates if n not in self.failed]
+        if not operational:
+            raise ProtocolError(f"ring {ring.ring_id!r} has no operational members")
+        for node in operational:
+            if not self.entities[node].mq.is_empty:
+                return node
+        return operational[0]
+
+    def forward_notification(
+        self, sender: NodeId, target: NodeId, operations: Sequence[TokenOperation], now: float
+    ) -> int:
+        """Insert operations into ``target``'s queue; returns 1 if a message was sent."""
+        if target not in self.entities:
+            return 0
+        if target in self.failed:
+            # The notification to a crashed parent/child times out (ParentOK /
+            # ChildOK turns false): repair that entity's ring, re-attach, and
+            # retry towards the surviving counterpart.
+            if not self.hierarchy.has_node(target):
+                return 0
+            sender_entity = self.entity(sender)
+            was_parent = sender_entity.parent == target
+            target_ring = self.hierarchy.ring_of(target)
+            self.detect_and_repair(target, now)
+            if was_parent:
+                new_target = self.entity(sender).parent
+            else:
+                new_target = target_ring.leader
+            if new_target is None or new_target == target:
+                return 0
+            return self.forward_notification(sender, new_target, operations, now)
+        if not self.hierarchy.has_node(target):
+            return 0
+        target_ring_id = self.hierarchy.ring_of(target).ring_id
+        fresh = self.fresh_for_ring(target_ring_id, operations)
+        if not fresh:
+            return 0
+        target_entity = self.entity(target)
+        for op in fresh:
+            target_entity.mq.insert(op, sender=sender, now=now)
+        self.mark_seen(target_ring_id, fresh)
+        self.metrics.counter("messages.notifications").increment()
+        if self.trace.enabled:
+            self.trace.record(
+                now,
+                "notify",
+                str(sender),
+                f"{len(fresh)} op(s) to {target} (ring {target_ring_id})",
+            )
+        return 1
+
+    # ------------------------------------------------------------------
+    # propagation to quiescence
+    # ------------------------------------------------------------------
+
+    def pending_rings(self) -> List[str]:
+        """Rings that currently have at least one queued operation."""
+        pending = []
+        failed = self.failed
+        entities = self.entities
+        for ring_id, ring in self.hierarchy.rings.items():
+            for node in ring.members:
+                if node in failed:
+                    continue
+                if not entities[node].mq.is_empty:
+                    pending.append(ring_id)
+                    break
+        # Bottom-up, then lexicographic: deterministic and matches the paper's
+        # bottom-to-top propagation narrative.
+        pending.sort(key=lambda rid: (self.hierarchy.ring(rid).tier, rid))
+        return pending
+
+    def propagate(self, now: float = 0.0, max_iterations: int = 10_000) -> PropagationReport:
+        """Run token rounds until every message queue is empty."""
+        report = PropagationReport()
+        failed = self.failed
+        entities = self.entities
+        for _ in range(max_iterations):
+            pending = self.pending_rings()
+            if not pending:
+                return report
+            for ring_id in pending:
+                ring = self.hierarchy.ring(ring_id)
+                if all(node in failed for node in ring.members):
+                    continue
+                # Skip if the work was consumed by an earlier round this sweep.
+                if not any(
+                    node not in failed and not entities[node].mq.is_empty
+                    for node in ring.members
+                ):
+                    continue
+                report.rounds.append(self.run_round(ring_id, now=now))
+        raise ProtocolError(
+            f"propagation did not converge within {max_iterations} iterations"
+        )

@@ -14,6 +14,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.core.deltas import MembershipDelta
 from repro.core.identifiers import GloballyUniqueId, GroupId, NodeId
 from repro.core.member import MemberInfo, MemberStatus
 from repro.core.token import TokenOperation, TokenOperationType
@@ -49,6 +50,11 @@ _EVENT_FOR_OP = {
 }
 
 
+def event_type_for(op_type: TokenOperationType) -> MembershipEventType:
+    """The membership event type a member operation produces when it changes a view."""
+    return _EVENT_FOR_OP[op_type]
+
+
 class MembershipView:
     """A set of operational member records with change application.
 
@@ -63,8 +69,21 @@ class MembershipView:
         self.scope = scope
         self.owner = owner
         self.group = group
-        self._members: Dict[GloballyUniqueId, MemberInfo] = {}
+        # Keyed by the GUID's plain string value: str hashing is C-level and
+        # cached, which matters because the kernel probes these dicts once per
+        # delta entry per visited entity.
+        self._members: Dict[str, MemberInfo] = {}
         self.version = 0
+
+    @staticmethod
+    def _key(guid: object) -> str:
+        if isinstance(guid, str):
+            return guid
+        if isinstance(guid, GloballyUniqueId):
+            return guid.value
+        if isinstance(guid, MemberInfo):
+            return guid.guid.value
+        return str(guid)
 
     # -- read side -------------------------------------------------------------
 
@@ -72,22 +91,17 @@ class MembershipView:
         return len(self._members)
 
     def __contains__(self, guid: object) -> bool:
-        if isinstance(guid, MemberInfo):
-            return guid.guid in self._members
-        if isinstance(guid, GloballyUniqueId):
-            return guid in self._members
-        return GloballyUniqueId(str(guid)) in self._members
+        return self._key(guid) in self._members
 
     def get(self, guid: "GloballyUniqueId | str") -> Optional[MemberInfo]:
-        key = guid if isinstance(guid, GloballyUniqueId) else GloballyUniqueId(str(guid))
-        return self._members.get(key)
+        return self._members.get(self._key(guid))
 
     def members(self) -> List[MemberInfo]:
         """Current members sorted by GUID (deterministic)."""
-        return [self._members[k] for k in sorted(self._members, key=lambda g: g.value)]
+        return [self._members[k] for k in sorted(self._members)]
 
     def guids(self) -> List[str]:
-        return sorted(str(g) for g in self._members)
+        return sorted(self._members)
 
     def members_at(self, ap: "NodeId | str") -> List[MemberInfo]:
         """Members currently attached to access proxy ``ap``."""
@@ -98,19 +112,18 @@ class MembershipView:
 
     def add(self, member: MemberInfo) -> bool:
         """Add or refresh a member record.  Returns True if the view changed."""
-        existing = self._members.get(member.guid)
+        key = member.guid.value
+        existing = self._members.get(key)
         if existing == member:
             return False
-        self._members[member.guid] = member
+        self._members[key] = member
         self.version += 1
         return True
 
     def remove(self, guid: "GloballyUniqueId | str") -> bool:
         """Remove a member.  Returns True if it was present."""
-        key = guid if isinstance(guid, GloballyUniqueId) else GloballyUniqueId(str(guid))
-        if key not in self._members:
+        if self._members.pop(self._key(guid), None) is None:
             return False
-        del self._members[key]
         self.version += 1
         return True
 
@@ -147,15 +160,72 @@ class MembershipView:
         )
 
     def apply_all(
-        self, operations: Iterable[TokenOperation], time: float
+        self, operations: "MembershipDelta | Iterable[TokenOperation]", time: float
     ) -> List[MembershipEvent]:
-        """Apply several operations, returning the events that changed the view."""
+        """Apply a batch of operations, returning the events that changed the view.
+
+        Accepts either a plain operation sequence (the seed's per-operation
+        path, kept as the reference semantics) or a pre-compiled
+        :class:`repro.core.deltas.MembershipDelta`, which is applied in a
+        single set-based pass (:meth:`apply_delta`).  Both paths leave the
+        member list in the identical final state; the delta path only elides
+        events for operations superseded within the same batch.
+        """
+        if isinstance(operations, MembershipDelta):
+            return self.apply_delta(operations, time)
         events: List[MembershipEvent] = []
         for operation in operations:
             event = self.apply(operation, time)
             if event is not None:
                 events.append(event)
         return events
+
+    def apply_delta(self, delta: MembershipDelta, time: float) -> List[MembershipEvent]:
+        """Single-pass application of a compiled delta (the batched hot path).
+
+        One dict operation per net change; the per-member status rewrite was
+        already done when the delta was compiled, so applying the same delta
+        at every member of a ring shares that work instead of repeating it.
+        """
+        events: List[MembershipEvent] = []
+        members = self._members
+        changed = 0
+        for entry in delta.entries:
+            operation = entry.operation
+            resolved = entry.resolved
+            key = entry.guid_value
+            if resolved is not None:
+                if members.get(key) == resolved:
+                    continue
+                members[key] = resolved
+            else:
+                if members.pop(key, None) is None:
+                    continue
+            changed += 1
+            events.append(
+                MembershipEvent(
+                    event_type=_EVENT_FOR_OP[operation.op_type],
+                    time=time,
+                    observer=self.owner,
+                    member=operation.member,
+                    previous_ap=operation.previous_ap,
+                    view_size=len(members),
+                )
+            )
+        self.version += changed
+        return events
+
+    def bulk_add(self, members: Iterable[MemberInfo]) -> int:
+        """Add many records in one pass; returns how many changed the view."""
+        added = 0
+        store = self._members
+        for member in members:
+            key = member.guid.value
+            if store.get(key) != member:
+                store[key] = member
+                added += 1
+        self.version += added
+        return added
 
     # -- comparison ---------------------------------------------------------------
 
@@ -184,11 +254,7 @@ class MembershipView:
         Used by the partition/merge extension and by the query service when
         assembling a global view from per-ring views under the BMS scheme.
         """
-        added = 0
-        for member in other.members():
-            if self.add(member):
-                added += 1
-        return added
+        return self.bulk_add(other.members())
 
     def copy(self, scope: Optional[str] = None) -> "MembershipView":
         """Deep-enough copy of this view (records are immutable)."""

@@ -23,6 +23,7 @@ interfere with each other and preserve arrival order.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -42,6 +43,15 @@ class QueuedMessage:
 class MessageQueue:
     """Aggregating FIFO of membership change operations.
 
+    Entries are kept in an insertion-ordered dict indexed by member GUID
+    (network-entity operations and non-aggregated entries get synthetic keys),
+    so every insert — including the aggregation merge — is O(1).  The seed
+    implementation rescanned the whole queue per insert, which made large
+    notification batches quadratic and dominated 100k-proxy propagations.
+
+    Aggregation moves the merged entry to the back of the queue, exactly as
+    the seed's rebuild did.
+
     Parameters
     ----------
     owner:
@@ -54,7 +64,8 @@ class MessageQueue:
     def __init__(self, owner: NodeId, aggregate: bool = True) -> None:
         self.owner = owner
         self.aggregate = aggregate
-        self._entries: List[QueuedMessage] = []
+        self._entries: Dict[object, QueuedMessage] = {}
+        self._unkeyed = itertools.count()
         self.total_enqueued = 0
         self.total_aggregated_away = 0
 
@@ -70,45 +81,27 @@ class MessageQueue:
         self.total_enqueued += 1
         entry = QueuedMessage(operation=operation, sender=sender, enqueued_at=now)
         if not self.aggregate:
-            self._entries.append(entry)
+            self._entries[next(self._unkeyed)] = entry
             return
-        self._entries = self._aggregate_in(self._entries, entry)
-
-    def _aggregate_in(
-        self, entries: List[QueuedMessage], new: List[QueuedMessage] | QueuedMessage
-    ) -> List[QueuedMessage]:
-        new_entry = new if isinstance(new, QueuedMessage) else None
-        if new_entry is None:
-            raise TypeError("internal: _aggregate_in expects a single entry")
-        op = new_entry.operation
-        if op.member is None:
-            # Network-entity operations: only collapse exact duplicates.
-            for existing in entries:
-                if (
-                    existing.operation.op_type is op.op_type
-                    and existing.operation.entity == op.entity
-                ):
-                    self.total_aggregated_away += 1
-                    return entries
-            return entries + [new_entry]
-
-        guid = op.member.guid
-        kept: List[QueuedMessage] = []
-        pending_for_member: Optional[QueuedMessage] = None
-        for existing in entries:
-            if existing.operation.member is not None and existing.operation.member.guid == guid:
-                pending_for_member = existing
-            else:
-                kept.append(existing)
-
-        merged = self._merge_member_ops(pending_for_member, new_entry)
+        if operation.member is None:
+            # Network-entity operations: only collapse exact duplicates (the
+            # earlier entry keeps its queue position).
+            key = ("ne", operation.op_type, operation.entity)
+            if key in self._entries:
+                self.total_aggregated_away += 1
+                return
+            self._entries[key] = entry
+            return
+        key = operation.member.guid.value
+        pending_for_member = self._entries.pop(key, None)
+        merged = self._merge_member_ops(pending_for_member, entry)
         if merged is None:
             # The pair cancelled out entirely (join then leave).
             self.total_aggregated_away += 2 if pending_for_member is not None else 1
-            return kept
+            return
         if pending_for_member is not None:
             self.total_aggregated_away += 1
-        return kept + [merged]
+        self._entries[key] = merged
 
     @staticmethod
     def _merge_member_ops(
@@ -142,24 +135,24 @@ class MessageQueue:
 
     def drain(self) -> Tuple[TokenOperation, ...]:
         """Remove and return all queued operations in order."""
-        operations = tuple(entry.operation for entry in self._entries)
+        operations = tuple(entry.operation for entry in self._entries.values())
         self._entries.clear()
         return operations
 
     def drain_entries(self) -> Tuple[QueuedMessage, ...]:
         """Remove and return all queued entries (with sender metadata)."""
-        entries = tuple(self._entries)
+        entries = tuple(self._entries.values())
         self._entries.clear()
         return entries
 
     def peek(self) -> Tuple[TokenOperation, ...]:
         """Queued operations without removing them."""
-        return tuple(entry.operation for entry in self._entries)
+        return tuple(entry.operation for entry in self._entries.values())
 
     def senders(self) -> List[NodeId]:
         """Distinct senders of the currently queued entries."""
         seen: Dict[NodeId, None] = {}
-        for entry in self._entries:
+        for entry in self._entries.values():
             seen.setdefault(entry.sender, None)
         return list(seen)
 

@@ -1,9 +1,10 @@
 """The One-Round Token Passing Membership algorithm (paper Section 4.3, Figure 3).
 
-This module contains the *structural* protocol engine: it executes token
-rounds deterministically over a :class:`repro.core.hierarchy.RingHierarchy`
-and the per-entity local state, without going through the discrete-event
-transport.  It is the reference implementation used by
+This module is the *structural* driver over the unified
+:class:`repro.core.kernel.TokenRoundKernel`: it steps token rounds
+deterministically (shared memory, zero latency) over a
+:class:`repro.core.hierarchy.RingHierarchy` and the per-entity local state.
+It is the reference implementation used by
 
 * the quickstart / deterministic semantics tests,
 * the hop-count measurement that validates Table I
@@ -11,8 +12,10 @@ transport.  It is the reference implementation used by
 * the :class:`repro.core.simulation.RGBSimulation` facade, which drives it
   from timed mobility / fault events.
 
-The message-passing, latency-aware engine that exercises the transport and
-failure-detection timers lives in :mod:`repro.core.protocol`.
+The message-passing, latency-aware driver that exercises the transport and
+failure-detection timers lives in :mod:`repro.core.protocol`; both share the
+kernel's round state machine (drain, circulation, notification/ack routing,
+seen-set dedup, batched delta application).
 
 Execution model
 ---------------
@@ -41,100 +44,37 @@ argument and its hop-count model both assume.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.core.config import ProtocolConfig
 from repro.core.entity import NetworkEntityState
 from repro.core.events import MembershipEventBus
 from repro.core.hierarchy import RingHierarchy
-from repro.core.identifiers import GloballyUniqueId, NodeId, coerce_guid, coerce_node
-from repro.core.member import MemberInfo, MemberStatus
-from repro.core.membership import MembershipEvent
-from repro.core.ring import LogicalRing
-from repro.core.token import Token, TokenOperation, TokenOperationType
+from repro.core.identifiers import GloballyUniqueId, NodeId, coerce_node
+from repro.core.kernel import (
+    PropagationReport,
+    ProtocolError,
+    RoundResult,
+    TokenRoundKernel,
+)
+from repro.core.member import MemberInfo
+from repro.core.token import TokenOperation
 from repro.sim.stats import MetricRegistry
 from repro.sim.trace import TraceRecorder
 
-
-class ProtocolError(RuntimeError):
-    """Raised for invalid protocol-level requests."""
-
-
-@dataclass
-class RoundResult:
-    """Outcome of one token round in one ring."""
-
-    ring_id: str
-    holder: NodeId
-    operations: Tuple[TokenOperation, ...]
-    token_hops: int = 0
-    notify_hops: int = 0
-    ack_hops: int = 0
-    retransmissions: int = 0
-    visited: List[NodeId] = field(default_factory=list)
-    repaired: List[NodeId] = field(default_factory=list)
-    events: List[MembershipEvent] = field(default_factory=list)
-
-    @property
-    def hop_count(self) -> int:
-        """Hops counted the way the paper's Section 5.1 model counts them."""
-        return self.token_hops + self.notify_hops
-
-
-@dataclass
-class PropagationReport:
-    """Aggregate outcome of :meth:`OneRoundEngine.propagate`."""
-
-    rounds: List[RoundResult] = field(default_factory=list)
-
-    @property
-    def round_count(self) -> int:
-        return len(self.rounds)
-
-    @property
-    def token_hops(self) -> int:
-        return sum(r.token_hops for r in self.rounds)
-
-    @property
-    def notify_hops(self) -> int:
-        return sum(r.notify_hops for r in self.rounds)
-
-    @property
-    def ack_hops(self) -> int:
-        return sum(r.ack_hops for r in self.rounds)
-
-    @property
-    def retransmissions(self) -> int:
-        return sum(r.retransmissions for r in self.rounds)
-
-    @property
-    def hop_count(self) -> int:
-        """Token hops plus notification hops (the paper's HopCount)."""
-        return self.token_hops + self.notify_hops
-
-    @property
-    def events(self) -> List[MembershipEvent]:
-        out: List[MembershipEvent] = []
-        for r in self.rounds:
-            out.extend(r.events)
-        return out
-
-    @property
-    def repaired(self) -> List[NodeId]:
-        out: List[NodeId] = []
-        for r in self.rounds:
-            out.extend(r.repaired)
-        return out
-
-    @property
-    def rings_involved(self) -> Set[str]:
-        return {r.ring_id for r in self.rounds}
+__all__ = [
+    "OneRoundEngine",
+    "PropagationReport",
+    "ProtocolError",
+    "RoundResult",
+]
 
 
 class OneRoundEngine:
     """Reference execution of the RGB membership protocol.
+
+    A thin structural driver: application-facing capture operations plus
+    synchronous stepping of the shared :class:`TokenRoundKernel`.
 
     Parameters
     ----------
@@ -155,38 +95,55 @@ class OneRoundEngine:
         event_bus: Optional[MembershipEventBus] = None,
         trace: Optional[TraceRecorder] = None,
     ) -> None:
+        self.kernel = TokenRoundKernel(
+            hierarchy,
+            config=config,
+            metrics=metrics,
+            event_bus=event_bus,
+            trace=trace,
+            emit_prune_events=True,
+        )
         self.hierarchy = hierarchy
-        self.config = config if config is not None else ProtocolConfig()
-        self.metrics = metrics if metrics is not None else MetricRegistry()
-        self.event_bus = event_bus if event_bus is not None else MembershipEventBus()
-        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
-        self.entities: Dict[NodeId, NetworkEntityState] = hierarchy.build_entity_states()
-        for entity in self.entities.values():
-            entity.mq.aggregate = self.config.aggregate_mq
-        self._failed: Set[NodeId] = set()
-        self._op_sequence = itertools.count(1)
-        self._ring_seen: Dict[str, Set[int]] = {ring_id: set() for ring_id in hierarchy.rings}
-        self._ring_holder: Dict[str, NodeId] = {}
-        self._coverage_cache: Dict[str, Set[str]] = {}
-        self._coverage_dirty = True
-        self._member_epochs: Dict[str, int] = {}
+
+    # -- shared instrumentation (kernel-owned) -----------------------------------
+
+    @property
+    def config(self) -> ProtocolConfig:
+        return self.kernel.config
+
+    @property
+    def metrics(self) -> MetricRegistry:
+        return self.kernel.metrics
+
+    @property
+    def event_bus(self) -> MembershipEventBus:
+        return self.kernel.event_bus
+
+    @property
+    def trace(self) -> TraceRecorder:
+        return self.kernel.trace
+
+    @property
+    def entities(self) -> Dict[NodeId, NetworkEntityState]:
+        return self.kernel.entities
+
+    @property
+    def _ring_holder(self) -> Dict[str, NodeId]:
+        """Per-ring next-holder pointers (kernel-owned; kept for back-compat)."""
+        return self.kernel._ring_holder
 
     # ------------------------------------------------------------------
     # entity access
     # ------------------------------------------------------------------
 
     def entity(self, node: "NodeId | str") -> NetworkEntityState:
-        key = coerce_node(node)
-        try:
-            return self.entities[key]
-        except KeyError:
-            raise ProtocolError(f"unknown network entity {node}") from None
+        return self.kernel.entity(node)
 
     def is_operational(self, node: "NodeId | str") -> bool:
-        return coerce_node(node) not in self._failed
+        return self.kernel.is_operational(node)
 
     def operational_entities(self) -> List[NodeId]:
-        return [n for n in self.entities if n not in self._failed]
+        return self.kernel.operational_entities()
 
     def global_membership(self) -> List[MemberInfo]:
         """The global member list as maintained at the topmost ring leader."""
@@ -205,7 +162,7 @@ class OneRoundEngine:
         views = [
             self.entity(node).ring_members
             for node in ring.members
-            if node not in self._failed
+            if node not in self.kernel.failed
         ]
         if len(views) <= 1:
             return True
@@ -216,75 +173,28 @@ class OneRoundEngine:
     # capture of membership changes (what access proxies do)
     # ------------------------------------------------------------------
 
-    def _next_epoch(self, guid: str) -> int:
-        epoch = self._member_epochs.get(guid, 0) + 1
-        self._member_epochs[guid] = epoch
-        return epoch
-
-    def _capture(self, ap: NodeId, operation: TokenOperation, now: float) -> TokenOperation:
-        """Insert ``operation`` into the access proxy's queue and mark it seen."""
-        entity = self.entity(ap)
-        entity.mq.insert(operation, sender=ap, now=now)
-        ring_id = self.hierarchy.ring_of(ap).ring_id
-        self._ring_seen[ring_id].add(operation.sequence)
-        self.metrics.counter(f"capture.{operation.op_type.value}").increment()
-        self.trace.record(now, "capture", str(ap), operation.describe())
-        return operation
-
     def member_join(
         self, ap: "NodeId | str", guid: "GloballyUniqueId | str", now: float = 0.0
     ) -> TokenOperation:
         """A mobile host joins the group at access proxy ``ap``."""
         ap_id = coerce_node(ap)
-        if ap_id in self._failed:
+        if ap_id in self.kernel.failed:
             raise ProtocolError(f"cannot join at failed access proxy {ap_id}")
-        guid_id = coerce_guid(guid)
-        from repro.core.identifiers import make_luid
-
-        member = MemberInfo(
-            guid=guid_id,
-            group=self.hierarchy.group,
-            ap=ap_id,
-            luid=make_luid(ap_id, guid_id, self._next_epoch(str(guid_id))),
-            status=MemberStatus.OPERATIONAL,
-        )
-        op = TokenOperation(
-            op_type=TokenOperationType.MEMBER_JOIN,
-            origin=ap_id,
-            member=member,
-            sequence=next(self._op_sequence),
-        )
-        return self._capture(ap_id, op, now)
+        return self.kernel.capture(ap_id, self.kernel.make_join_op(ap_id, guid), now)
 
     def member_leave(
         self, ap: "NodeId | str", guid: "GloballyUniqueId | str", now: float = 0.0
     ) -> TokenOperation:
         """A mobile host voluntarily leaves the group."""
         ap_id = coerce_node(ap)
-        guid_id = coerce_guid(guid)
-        member = self._lookup_member(ap_id, guid_id)
-        op = TokenOperation(
-            op_type=TokenOperationType.MEMBER_LEAVE,
-            origin=ap_id,
-            member=member.with_status(MemberStatus.LEFT),
-            sequence=next(self._op_sequence),
-        )
-        return self._capture(ap_id, op, now)
+        return self.kernel.capture(ap_id, self.kernel.make_leave_op(ap_id, guid), now)
 
     def member_failure(
         self, ap: "NodeId | str", guid: "GloballyUniqueId | str", now: float = 0.0
     ) -> TokenOperation:
         """A mobile host is detected faulty by its access proxy."""
         ap_id = coerce_node(ap)
-        guid_id = coerce_guid(guid)
-        member = self._lookup_member(ap_id, guid_id)
-        op = TokenOperation(
-            op_type=TokenOperationType.MEMBER_FAILURE,
-            origin=ap_id,
-            member=member.with_status(MemberStatus.FAILED),
-            sequence=next(self._op_sequence),
-        )
-        return self._capture(ap_id, op, now)
+        return self.kernel.capture(ap_id, self.kernel.make_failure_op(ap_id, guid), now)
 
     def member_handoff(
         self,
@@ -293,270 +203,53 @@ class OneRoundEngine:
         new_ap: "NodeId | str",
         now: float = 0.0,
     ) -> TokenOperation:
-        """A mobile host hands off from ``old_ap`` to ``new_ap``.
-
-        The change is captured at the *new* access proxy (the paper's
-        Member-Handoff); the old access proxy's local list is updated directly,
-        modelling the Mobile-IP style binding update the host performs, and the
-        propagated operation carries ``previous_ap`` so every view can move the
-        member rather than duplicate it.
-        """
-        old_id = coerce_node(old_ap)
+        """A mobile host hands off from ``old_ap`` to ``new_ap``."""
         new_id = coerce_node(new_ap)
-        guid_id = coerce_guid(guid)
-        if new_id in self._failed:
+        if new_id in self.kernel.failed:
             raise ProtocolError(f"cannot hand off to failed access proxy {new_id}")
-        member = self._lookup_member(old_id, guid_id)
-        moved = member.handed_off_to(new_id, self._next_epoch(str(guid_id)))
-        # Fast local update at the old proxy (fast-handoff path).
-        if old_id in self.entities:
-            self.entity(old_id).unregister_local_member(str(guid_id))
-        op = TokenOperation(
-            op_type=TokenOperationType.MEMBER_HANDOFF,
-            origin=new_id,
-            member=moved,
-            previous_ap=old_id,
-            sequence=next(self._op_sequence),
-        )
-        return self._capture(new_id, op, now)
+        op = self.kernel.make_handoff_op(guid, old_ap, new_id)
+        return self.kernel.capture(new_id, op, now)
 
-    def _lookup_member(self, ap: NodeId, guid: GloballyUniqueId) -> MemberInfo:
-        """Find the current record for ``guid``, preferring the AP's local list."""
-        if ap in self.entities:
-            record = self.entity(ap).local_members.get(guid)
-            if record is not None:
-                return record
-            record = self.entity(ap).ring_members.get(guid)
-            if record is not None:
-                return record
-        # Fall back to the global view (e.g. leave reported via a different AP).
-        top_leader = self.hierarchy.topmost_ring().leader
-        if top_leader is not None:
-            record = self.entity(top_leader).ring_members.get(guid)
-            if record is not None:
-                return record
-        # Unknown member: synthesise a record so the departure still propagates.
-        from repro.core.identifiers import make_luid
+    def capture_many(
+        self, operations: "List[tuple]", now: float = 0.0
+    ) -> List[TokenOperation]:
+        """Capture a batch of ``(kind, *args)`` changes before one propagation.
 
-        return MemberInfo(
-            guid=guid,
-            group=self.hierarchy.group,
-            ap=ap,
-            luid=make_luid(ap, guid, self._next_epoch(str(guid))),
-            status=MemberStatus.OPERATIONAL,
-        )
+        ``kind`` is one of ``"join"``, ``"leave"``, ``"failure"`` (args:
+        ``ap, guid``) or ``"handoff"`` (args: ``guid, old_ap, new_ap``).
+        Queued changes aggregate into the same token rounds, which is the
+        batched capture path the large-scale workloads use.
+        """
+        captured: List[TokenOperation] = []
+        dispatch = {
+            "join": self.member_join,
+            "leave": self.member_leave,
+            "failure": self.member_failure,
+            "handoff": self.member_handoff,
+        }
+        for kind, *args in operations:
+            try:
+                handler = dispatch[kind]
+            except KeyError:
+                raise ProtocolError(f"unknown capture kind {kind!r}") from None
+            captured.append(handler(*args, now=now))
+        return captured
 
     # ------------------------------------------------------------------
     # entity failure and repair
     # ------------------------------------------------------------------
 
     def fail_entity(self, node: "NodeId | str", now: float = 0.0) -> None:
-        """Mark a network entity as crashed.
-
-        Detection and repair happen lazily, when a token round next tries to
-        visit the failed entity (Section 5.2: detection by token
-        retransmission, local repair by exclusion).  Use
-        :meth:`detect_and_repair` to force immediate handling.
-        """
-        key = coerce_node(node)
-        if key not in self.entities:
-            raise ProtocolError(f"unknown network entity {node}")
-        self._failed.add(key)
-        self.metrics.counter("faults.entity").increment()
-        self.trace.record(now, "fault", str(key), "entity crashed")
+        """Mark a network entity as crashed (lazy detection; see the kernel)."""
+        self.kernel.fail_entity(node, now)
 
     def detect_and_repair(self, node: "NodeId | str", now: float = 0.0) -> List[TokenOperation]:
         """Immediately detect a failed entity and repair its ring."""
-        key = coerce_node(node)
-        if key not in self._failed:
-            raise ProtocolError(f"entity {node} has not failed")
-        if not self.hierarchy.has_node(key):
-            return []  # already repaired away
-        ring = self.hierarchy.ring_of(key)
-        detector = None
-        for candidate in ring.members:
-            if candidate != key and candidate not in self._failed:
-                detector = candidate
-                break
-        ops: List[TokenOperation] = []
-        self._repair_ring(ring, key, detector, now, ops)
-        if detector is not None:
-            for op in ops:
-                self.entity(detector).mq.insert(op, sender=detector, now=now)
-                self._ring_seen[ring.ring_id].add(op.sequence)
-        return ops
-
-    def _repair_ring(
-        self,
-        ring: LogicalRing,
-        failed: NodeId,
-        detector: Optional[NodeId],
-        now: float,
-        ops_out: List[TokenOperation],
-    ) -> None:
-        """Exclude ``failed`` from ``ring`` and patch all local pointers."""
-        was_leader = ring.remove_member(failed)
-        if was_leader:
-            ring.elect_leader()
-        self.hierarchy.ring_of_node.pop(failed, None)
-        self._coverage_dirty = True
-
-        # Re-point the surviving members' previous/next/leader fields.
-        for member in ring.members:
-            state = self.entity(member)
-            if ring.leader is not None:
-                state.set_ring_pointers(
-                    ring_id=ring.ring_id,
-                    leader=ring.leader,
-                    previous=ring.predecessor(member),
-                    next_node=ring.successor(member),
-                )
-
-        # Child rings of the failed node re-attach to the ring's (new) leader.
-        orphan_rings = self.hierarchy.child_rings.pop(failed, [])
-        new_parent = ring.leader
-        if orphan_rings and new_parent is not None:
-            for ring_id in orphan_rings:
-                self.hierarchy.parent_node[ring_id] = new_parent
-                self.hierarchy.child_rings.setdefault(new_parent, []).append(ring_id)
-                child_leader = self.hierarchy.ring(ring_id).leader
-                if child_leader is not None:
-                    self.entity(new_parent).add_child(child_leader)
-                    self.entity(child_leader).set_parent(new_parent)
-
-        # The failed entity's parent loses a child pointer; the ring's (new)
-        # leader takes over as that parent's child so the upward path survives.
-        parent = self.hierarchy.parent_node.get(ring.ring_id)
-        if parent is not None and parent in self.entities:
-            self.entity(parent).remove_child(failed)
-            if ring.leader is not None:
-                self.entity(parent).add_child(ring.leader)
-                self.entity(ring.leader).set_parent(parent)
-
-        # Members attached to a failed access proxy are reported failed.
-        failure_source = detector if detector is not None else ring.leader
-        if failure_source is not None:
-            lost = self.entity(failure_source).ring_members.members_at(failed)
-            for member in lost:
-                ops_out.append(
-                    TokenOperation(
-                        op_type=TokenOperationType.MEMBER_FAILURE,
-                        origin=failure_source,
-                        member=member.with_status(MemberStatus.FAILED),
-                        sequence=next(self._op_sequence),
-                    )
-                )
-        ops_out.append(
-            TokenOperation(
-                op_type=TokenOperationType.NE_FAILURE,
-                origin=failure_source if failure_source is not None else failed,
-                entity=failed,
-                sequence=next(self._op_sequence),
-            )
-        )
-        self.metrics.counter("repairs.ring").increment()
-        self.trace.record(now, "repair", str(failed), f"excluded from ring {ring.ring_id}")
+        return self.kernel.detect_and_repair(node, now)
 
     # ------------------------------------------------------------------
-    # coverage bookkeeping
+    # round execution and propagation (kernel-stepped)
     # ------------------------------------------------------------------
-
-    def _coverage(self, ring_id: str) -> Set[str]:
-        """Access proxies whose members fall within the ring's coverage area."""
-        if self._coverage_dirty:
-            self._coverage_cache.clear()
-            self._coverage_dirty = False
-        cached = self._coverage_cache.get(ring_id)
-        if cached is not None:
-            return cached
-        ring = self.hierarchy.ring(ring_id)
-        members = set(ring.members)
-        covered: Set[str] = set()
-        for ap in self.hierarchy.access_proxies():
-            if ap in members:
-                covered.add(ap.value)
-                continue
-            for ancestor in self.hierarchy.ancestry(ap):
-                if ancestor in members:
-                    covered.add(ap.value)
-                    break
-        self._coverage_cache[ring_id] = covered
-        return covered
-
-    # ------------------------------------------------------------------
-    # the one-round algorithm
-    # ------------------------------------------------------------------
-
-    def _apply_operations_at(
-        self,
-        node: NodeId,
-        ring: LogicalRing,
-        operations: Sequence[TokenOperation],
-        now: float,
-    ) -> List[MembershipEvent]:
-        """Figure 3 line 08: execute Token.OP on the current node."""
-        entity = self.entity(node)
-        events: List[MembershipEvent] = []
-        coverage = self._coverage(ring.ring_id)
-        bottom_tier = self.hierarchy.bottom_tier()
-        for op in operations:
-            if not op.op_type.concerns_member or op.member is None:
-                continue
-            member = op.member
-            in_coverage = member.ap.value in coverage
-
-            # Local member list: only the access proxy the member is attached to.
-            if ring.tier == bottom_tier:
-                if member.ap == node and op.op_type in (
-                    TokenOperationType.MEMBER_JOIN,
-                    TokenOperationType.MEMBER_HANDOFF,
-                ):
-                    entity.local_members.add(member)
-                elif str(member.guid) in entity.local_members.guids() and (
-                    member.ap != node
-                    or op.op_type
-                    in (TokenOperationType.MEMBER_LEAVE, TokenOperationType.MEMBER_FAILURE)
-                ):
-                    entity.local_members.remove(member.guid)
-
-                # Neighbour member list: members at the *other* proxies of this ring.
-                if member.ap != node and member.ap in ring.members:
-                    if op.op_type in (
-                        TokenOperationType.MEMBER_JOIN,
-                        TokenOperationType.MEMBER_HANDOFF,
-                    ):
-                        entity.neighbor_members.add(member)
-                    else:
-                        entity.neighbor_members.remove(member.guid)
-                elif str(member.guid) in entity.neighbor_members.guids() and member.ap not in ring.members:
-                    entity.neighbor_members.remove(member.guid)
-
-            # Ring member list: members within the ring's coverage area.
-            if op.op_type in (TokenOperationType.MEMBER_JOIN, TokenOperationType.MEMBER_HANDOFF):
-                if in_coverage:
-                    event = entity.ring_members.apply(op, now)
-                elif str(member.guid) in entity.ring_members.guids():
-                    removed = entity.ring_members.remove(member.guid)
-                    event = (
-                        MembershipEvent(
-                            event_type=_event_type_for(op.op_type),
-                            time=now,
-                            observer=node,
-                            member=member,
-                            previous_ap=op.previous_ap,
-                            view_size=len(entity.ring_members),
-                        )
-                        if removed
-                        else None
-                    )
-                else:
-                    event = None
-            else:
-                event = entity.ring_members.apply(op, now)
-            if event is not None:
-                events.append(event)
-                self.event_bus.publish(event)
-        return events
 
     def run_round(
         self,
@@ -565,204 +258,15 @@ class OneRoundEngine:
         now: float = 0.0,
     ) -> RoundResult:
         """Run one token round in ``ring_id`` (Figure 3)."""
-        ring = self.hierarchy.ring(ring_id)
-        if ring.is_empty:
-            raise ProtocolError(f"ring {ring_id!r} has no members")
-        holder_id = coerce_node(holder) if holder is not None else self._pick_holder(ring)
-        if holder_id not in ring.members:
-            raise ProtocolError(f"holder {holder_id} is not a member of ring {ring_id!r}")
-        if holder_id in self._failed:
-            raise ProtocolError(f"holder {holder_id} has failed")
-
-        holder_entity = self.entity(holder_id)
-        drained = holder_entity.mq.drain_entries()
-        seen = self._ring_seen[ring_id]
-        operations = tuple(e.operation for e in drained)
-        for op in operations:
-            seen.add(op.sequence)
-        child_senders = [
-            e.sender for e in drained if e.sender != holder_id and e.sender not in ring.members
-        ]
-
-        token = Token(
-            group=self.hierarchy.group,
-            holder=holder_id,
-            ring_id=ring_id,
-            operations=operations,
-        )
-        result = RoundResult(ring_id=ring_id, holder=holder_id, operations=operations)
-        self.metrics.counter("rounds.started").increment()
-        self.trace.record(now, "round", str(holder_id), f"start {token.describe()}")
-
-        order = ring.members_from(holder_id)
-        forwarded_up = False
-        index = 0
-        while index < len(order):
-            node = order[index]
-            if node != holder_id:
-                result.token_hops += 1
-            if node in self._failed:
-                # Detection by token retransmission, then local repair.
-                result.retransmissions += self.config.token_retry_limit + 1
-                repair_ops: List[TokenOperation] = []
-                detector = order[index - 1] if index > 0 else holder_id
-                self._repair_ring(ring, node, detector, now, repair_ops)
-                result.repaired.append(node)
-                for op in repair_ops:
-                    self.entity(detector).mq.insert(op, sender=detector, now=now)
-                    self._ring_seen[ring_id].add(op.sequence)
-                index += 1
-                continue
-
-            token = token.record_visit(node)
-            result.visited.append(node)
-            entity = self.entity(node)
-            result.events.extend(self._apply_operations_at(node, ring, operations, now))
-            entity.ring_ok = True  # Figure 3 line 09
-
-            # Figure 3 lines 10-13: leader forwards to its parent.
-            if operations and node == ring.leader and entity.parent_ok and entity.parent is not None:
-                sent = self._forward(node, entity.parent, operations, now)
-                result.notify_hops += sent
-                forwarded_up = True
-
-            # Figure 3 lines 14-16: notify child rings.
-            if operations and self.config.disseminate_downward and entity.children:
-                for child in list(entity.children):
-                    if child in self._failed:
-                        continue
-                    sent = self._forward(node, child, operations, now)
-                    result.notify_hops += sent
-            index += 1
-
-        # Closing hop: the token travels from the last visited node back to the holder.
-        if len(result.visited) >= 2:
-            result.token_hops += 1
-
-        # If the ring leader failed mid-round (before its turn), the repaired
-        # ring's new leader still has to report the operations to the parent.
-        if operations and not forwarded_up and ring.leader is not None:
-            leader_entity = self.entity(ring.leader)
-            if ring.leader not in self._failed and leader_entity.parent_ok and leader_entity.parent is not None:
-                sent = self._forward(ring.leader, leader_entity.parent, operations, now)
-                result.notify_hops += sent
-
-        # Figure 3 lines 17-20: Holder-Acknowledgement to originating children.
-        if self.config.holder_ack_enabled and operations:
-            for sender in dict.fromkeys(child_senders):
-                if sender in self._failed:
-                    continue
-                result.ack_hops += 1
-                self.metrics.counter("messages.holder_ack").increment()
-                self.trace.record(now, "ack", str(holder_id), f"holder-ack to {sender}")
-
-        # Figure 3 lines 21-23: control of a fresh token moves to the next node.
-        if ring.members:
-            try:
-                self._ring_holder[ring_id] = ring.successor(holder_id)
-            except Exception:
-                self._ring_holder[ring_id] = ring.leader if ring.leader is not None else ring.members[0]
-
-        self.metrics.counter("rounds.completed").increment()
-        self.metrics.counter("hops.token").increment(result.token_hops)
-        self.metrics.counter("hops.notify").increment(result.notify_hops)
-        self.metrics.counter("hops.ack").increment(result.ack_hops)
-        return result
-
-    def _pick_holder(self, ring: LogicalRing) -> NodeId:
-        """The member that should hold the next round: current holder pointer,
-        advanced to the first operational member with pending work (or the
-        first operational member if none has work)."""
-        start = self._ring_holder.get(ring.ring_id)
-        candidates = ring.members_from(start) if start is not None and start in ring.members else ring.members_in_order()
-        operational = [n for n in candidates if n not in self._failed]
-        if not operational:
-            raise ProtocolError(f"ring {ring.ring_id!r} has no operational members")
-        for node in operational:
-            if not self.entity(node).mq.is_empty:
-                return node
-        return operational[0]
-
-    def _forward(
-        self, sender: NodeId, target: NodeId, operations: Sequence[TokenOperation], now: float
-    ) -> int:
-        """Insert operations into ``target``'s queue; returns 1 if a message was sent."""
-        if target not in self.entities:
-            return 0
-        if target in self._failed:
-            # The notification to a crashed parent/child times out (ParentOK /
-            # ChildOK turns false): repair that entity's ring, re-attach, and
-            # retry towards the surviving counterpart.
-            if not self.hierarchy.has_node(target):
-                return 0
-            sender_entity = self.entity(sender)
-            was_parent = sender_entity.parent == target
-            target_ring = self.hierarchy.ring_of(target)
-            self.detect_and_repair(target, now)
-            if was_parent:
-                new_target = self.entity(sender).parent
-            else:
-                new_target = target_ring.leader
-            if new_target is None or new_target == target:
-                return 0
-            return self._forward(sender, new_target, operations, now)
-        if not self.hierarchy.has_node(target):
-            return 0
-        target_ring = self.hierarchy.ring_of(target).ring_id
-        seen = self._ring_seen[target_ring]
-        fresh = [op for op in operations if op.sequence not in seen]
-        if not fresh:
-            return 0
-        target_entity = self.entity(target)
-        for op in fresh:
-            target_entity.mq.insert(op, sender=sender, now=now)
-            seen.add(op.sequence)
-        self.metrics.counter("messages.notifications").increment()
-        self.trace.record(
-            now, "notify", str(sender), f"{len(fresh)} op(s) to {target} (ring {target_ring})"
-        )
-        return 1
-
-    # ------------------------------------------------------------------
-    # propagation to quiescence
-    # ------------------------------------------------------------------
+        return self.kernel.run_round(ring_id, holder=holder, now=now)
 
     def pending_rings(self) -> List[str]:
         """Rings that currently have at least one queued operation."""
-        pending = []
-        for ring_id, ring in self.hierarchy.rings.items():
-            for node in ring.members:
-                if node in self._failed:
-                    continue
-                if not self.entity(node).mq.is_empty:
-                    pending.append(ring_id)
-                    break
-        # Bottom-up, then lexicographic: deterministic and matches the paper's
-        # bottom-to-top propagation narrative.
-        pending.sort(key=lambda rid: (self.hierarchy.ring(rid).tier, rid))
-        return pending
+        return self.kernel.pending_rings()
 
     def propagate(self, now: float = 0.0, max_iterations: int = 10_000) -> PropagationReport:
         """Run token rounds until every message queue is empty."""
-        report = PropagationReport()
-        for _ in range(max_iterations):
-            pending = self.pending_rings()
-            if not pending:
-                return report
-            for ring_id in pending:
-                ring = self.hierarchy.ring(ring_id)
-                if all(node in self._failed for node in ring.members):
-                    continue
-                # Skip if the work was consumed by an earlier round this sweep.
-                if not any(
-                    node not in self._failed and not self.entity(node).mq.is_empty
-                    for node in ring.members
-                ):
-                    continue
-                report.rounds.append(self.run_round(ring_id, now=now))
-        raise ProtocolError(
-            f"propagation did not converge within {max_iterations} iterations"
-        )
+        return self.kernel.propagate(now=now, max_iterations=max_iterations)
 
     # ------------------------------------------------------------------
     # convenience wrappers used by examples and the facade
@@ -789,14 +293,3 @@ class OneRoundEngine:
     ) -> PropagationReport:
         self.member_handoff(guid, old_ap, new_ap, now)
         return self.propagate(now)
-
-
-def _event_type_for(op_type: TokenOperationType):
-    from repro.core.membership import MembershipEventType
-
-    return {
-        TokenOperationType.MEMBER_JOIN: MembershipEventType.JOIN,
-        TokenOperationType.MEMBER_LEAVE: MembershipEventType.LEAVE,
-        TokenOperationType.MEMBER_HANDOFF: MembershipEventType.HANDOFF,
-        TokenOperationType.MEMBER_FAILURE: MembershipEventType.FAILURE,
-    }[op_type]

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.core.deltas import MembershipDelta
 from repro.core.hierarchy import RingHierarchy
 from repro.core.identifiers import NodeId, coerce_node
 from repro.core.membership import MembershipView
@@ -213,19 +214,29 @@ class PartitionManager:
     # -- merge -----------------------------------------------------------------
 
     @staticmethod
-    def merge_views(primary: MembershipView, detached: Sequence[MembershipView]) -> int:
+    def merge_delta(detached: Sequence[MembershipView]) -> MembershipDelta:
+        """Compile the records of detached partitions into one re-admission delta.
+
+        Records for the same member GUID across several detached views are
+        net-filtered up front, so applying the delta to the primary view (and
+        to every view the downward dissemination reaches) is a single pass.
+        """
+        return MembershipDelta.from_members(
+            member for view in detached for member in view.members()
+        )
+
+    @classmethod
+    def merge_views(cls, primary: MembershipView, detached: Sequence[MembershipView]) -> int:
         """Union-merge detached partitions' views into the primary view.
 
         Returns the number of member records the primary view gained.  The
-        reciprocal direction (primary into detached) is performed by the
-        caller per detached view if it also survives; in RGB the detached
-        sub-hierarchy re-joins below some parent node and then receives the
-        merged view through the normal downward dissemination.
+        merge is applied as one batched :class:`MembershipDelta` rather than
+        per-record.  The reciprocal direction (primary into detached) is
+        performed by the caller per detached view if it also survives; in RGB
+        the detached sub-hierarchy re-joins below some parent node and then
+        receives the merged view through the normal downward dissemination.
         """
-        gained = 0
-        for view in detached:
-            gained += primary.merge_from(view)
-        return gained
+        return len(primary.apply_delta(cls.merge_delta(detached), time=0.0))
 
     def reattach_ring(self, ring_id: str, new_parent: "NodeId | str") -> None:
         """Re-attach a detached ring under a new parent node (self-organisation).

@@ -1,12 +1,17 @@
-"""Message-passing protocol engine running on the discrete-event transport.
+"""Message-passing protocol driver running on the discrete-event transport.
 
-Where :mod:`repro.core.one_round` executes token rounds structurally (shared
-memory, zero latency), this module runs the same algorithm as an actual
+Where :mod:`repro.core.one_round` steps the shared
+:class:`repro.core.kernel.TokenRoundKernel` structurally (shared memory, zero
+latency), this module schedules the same round state machine as an actual
 distributed protocol: every network entity is an endpoint on the simulated
 :class:`repro.sim.transport.Transport`, tokens and notifications are real
 messages subject to latency and loss, failure detection is driven by token
 acknowledgement timeouts, and ring repair is performed with only the local
 knowledge each entity has (its ring view travels with the token, Totem-style).
+All protocol decisions — queue draining, notification/acknowledgement
+routing, delta application, hierarchy repair surgery — are delegated to the
+kernel; this module owns only the wire encoding, timers and per-node message
+handlers.
 
 Differences from the paper's presentation, kept deliberately small:
 
@@ -24,15 +29,16 @@ Differences from the paper's presentation, kept deliberately small:
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import ProtocolConfig
-from repro.core.entity import EntityRole, NetworkEntityState
+from repro.core.entity import NetworkEntityState
 from repro.core.events import MembershipEventBus
 from repro.core.hierarchy import RingHierarchy
-from repro.core.identifiers import GloballyUniqueId, NodeId, coerce_guid, coerce_node, make_luid
+from repro.core.identifiers import GloballyUniqueId, NodeId, coerce_node
+from repro.core.deltas import MembershipDelta
+from repro.core.kernel import TokenRoundKernel
 from repro.core.member import MemberInfo, MemberStatus
 from repro.core.token import TokenOperation, TokenOperationType
 from repro.sim.engine import Event, SimulationEngine
@@ -329,13 +335,10 @@ class RGBProtocolNode:
     # -- holder-side round execution ----------------------------------------------
 
     def _start_round_as_holder(self) -> None:
-        entries = self.state.mq.drain_entries()
-        operations = [e.operation for e in entries]
-        child_senders = [
-            str(e.sender)
-            for e in entries
-            if e.sender != self.node_id and e.sender not in self.ring_members()
-        ]
+        operations, senders = self.cluster.kernel.drain_for_round(
+            self.state, self.ring_members()
+        )
+        child_senders = [str(sender) for sender in senders]
         self.metrics.counter("protocol.rounds_started").increment()
         payload: Dict[str, object] = {
             "holder": str(self.node_id),
@@ -351,7 +354,7 @@ class RGBProtocolNode:
         """The token has returned to the holder: acknowledge and release the ring."""
         self.metrics.counter("protocol.rounds_completed").increment()
         if self.config.holder_ack_enabled:
-            for sender in dict.fromkeys(payload.get("child_senders", [])):  # type: ignore[union-attr]
+            for sender in self.cluster.kernel.ack_targets(payload.get("child_senders", [])):  # type: ignore[arg-type]
                 self._send(NodeId(str(sender)), MSG_HOLDER_ACK, {})
         leader = self.state.leader
         if leader is not None and leader != self.node_id:
@@ -405,27 +408,25 @@ class RGBProtocolNode:
         operations = [_decode_op(d) for d in payload.get("operations", [])]  # type: ignore[union-attr]
         for op in operations:
             self._seen_ops.add(op.sequence)
-        events = self.cluster.apply_operations(self.node_id, operations)
+        kernel = self.cluster.kernel
+        # Events are published by the kernel's event bus inside apply.
+        self.cluster.apply_operations(self.node_id, operations)
         self.state.ring_ok = True
         # Figure 3 lines 10-13: the ring leader forwards up to its parent.
-        if (
-            operations
-            and self.node_id == self.state.leader
-            and self.state.parent_ok
-            and self.state.parent is not None
-        ):
+        parent_target = kernel.upward_target(self.state, self.state.leader)
+        if operations and parent_target is not None:
             fresh = [op for op in operations if op.sequence not in self._forwarded_up]
             if fresh:
                 self._forwarded_up.update(op.sequence for op in fresh)
                 self._send(
-                    self.state.parent,
+                    parent_target,
                     MSG_MQ_INSERT,
                     {"operations": [_encode_op(op) for op in fresh]},
                 )
                 self.metrics.counter("protocol.notify_parent").increment()
         # Figure 3 lines 14-16: notify child rings.
-        if operations and self.config.disseminate_downward and self.state.children:
-            for child in list(self.state.children):
+        if operations:
+            for child in kernel.downward_targets(self.state):
                 forwarded = self._forwarded_down.setdefault(str(child), set())
                 fresh = [op for op in operations if op.sequence not in forwarded]
                 if not fresh:
@@ -437,7 +438,6 @@ class RGBProtocolNode:
                     {"operations": [_encode_op(op) for op in fresh]},
                 )
                 self.metrics.counter("protocol.notify_child").increment()
-        del events  # events are published by the cluster's event bus
 
     def _forward_token(self, payload: Dict[str, object]) -> None:
         """Send the token to the next node, with timeout-driven failure detection."""
@@ -532,19 +532,29 @@ class RGBProtocolCluster:
         self.engine = engine
         self.network = network
         self.transport = transport
-        self.config = config if config is not None else ProtocolConfig()
-        self.metrics = metrics if metrics is not None else MetricRegistry()
-        self.event_bus = event_bus if event_bus is not None else MembershipEventBus()
-        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
-        self._op_sequence = itertools.count(1)
-        self._member_epochs: Dict[str, int] = {}
-        self._failed_entities: Set[NodeId] = set()
-        self._coverage_cache: Dict[str, Set[str]] = {}
+        # The message-passing driver historically never reported events for
+        # records pruned out of a ring's coverage area; the kernel preserves
+        # that behaviour per driver.
+        self.kernel = TokenRoundKernel(
+            hierarchy,
+            config=config,
+            metrics=metrics,
+            event_bus=event_bus,
+            trace=trace,
+            emit_prune_events=False,
+        )
+        self.config = self.kernel.config
+        self.metrics = self.kernel.metrics
+        self.event_bus = self.kernel.event_bus
+        self.trace = self.kernel.trace
 
-        states = hierarchy.build_entity_states()
+        # One delta compile per operation batch: the token visits every ring
+        # member with the same payload, so memoise by the ops' sequence ids
+        # (globally unique and immutable) instead of recompiling per node.
+        self._delta_cache: Dict[Tuple[int, ...], MembershipDelta] = {}
+
         self.nodes: Dict[NodeId, RGBProtocolNode] = {}
-        for node_id, state in states.items():
-            state.mq.aggregate = self.config.aggregate_mq
+        for node_id, state in self.kernel.entities.items():
             node = RGBProtocolNode(state, self)
             self.nodes[node_id] = node
             self.transport.register(str(node_id), node.on_message)
@@ -556,11 +566,6 @@ class RGBProtocolCluster:
     # membership operations (application-facing)
     # ------------------------------------------------------------------
 
-    def _next_epoch(self, guid: str) -> int:
-        epoch = self._member_epochs.get(guid, 0) + 1
-        self._member_epochs[guid] = epoch
-        return epoch
-
     def _node(self, node_id: "NodeId | str") -> RGBProtocolNode:
         key = coerce_node(node_id)
         try:
@@ -569,47 +574,18 @@ class RGBProtocolCluster:
             raise KeyError(f"unknown protocol node {node_id}") from None
 
     def join_member(self, ap: "NodeId | str", guid: "GloballyUniqueId | str") -> MemberInfo:
-        ap_id = coerce_node(ap)
-        guid_id = coerce_guid(guid)
-        member = MemberInfo(
-            guid=guid_id,
-            group=self.hierarchy.group,
-            ap=ap_id,
-            luid=make_luid(ap_id, guid_id, self._next_epoch(str(guid_id))),
-            status=MemberStatus.OPERATIONAL,
-        )
-        op = TokenOperation(
-            op_type=TokenOperationType.MEMBER_JOIN,
-            origin=ap_id,
-            member=member,
-            sequence=next(self._op_sequence),
-        )
-        self._node(ap_id).capture(op)
-        return member
+        op = self.kernel.make_join_op(ap, guid)
+        self._node(op.origin).capture(op)
+        assert op.member is not None
+        return op.member
 
     def leave_member(self, ap: "NodeId | str", guid: "GloballyUniqueId | str") -> None:
-        ap_id = coerce_node(ap)
-        guid_id = coerce_guid(guid)
-        record = self._current_record(ap_id, guid_id)
-        op = TokenOperation(
-            op_type=TokenOperationType.MEMBER_LEAVE,
-            origin=ap_id,
-            member=record.with_status(MemberStatus.LEFT),
-            sequence=next(self._op_sequence),
-        )
-        self._node(ap_id).capture(op)
+        op = self.kernel.make_leave_op(ap, guid)
+        self._node(op.origin).capture(op)
 
     def fail_member(self, ap: "NodeId | str", guid: "GloballyUniqueId | str") -> None:
-        ap_id = coerce_node(ap)
-        guid_id = coerce_guid(guid)
-        record = self._current_record(ap_id, guid_id)
-        op = TokenOperation(
-            op_type=TokenOperationType.MEMBER_FAILURE,
-            origin=ap_id,
-            member=record.with_status(MemberStatus.FAILED),
-            sequence=next(self._op_sequence),
-        )
-        self._node(ap_id).capture(op)
+        op = self.kernel.make_failure_op(ap, guid)
+        self._node(op.origin).capture(op)
 
     def handoff_member(
         self,
@@ -617,43 +593,10 @@ class RGBProtocolCluster:
         old_ap: "NodeId | str",
         new_ap: "NodeId | str",
     ) -> MemberInfo:
-        old_id = coerce_node(old_ap)
-        new_id = coerce_node(new_ap)
-        guid_id = coerce_guid(guid)
-        record = self._current_record(old_id, guid_id)
-        moved = record.handed_off_to(new_id, self._next_epoch(str(guid_id)))
-        if old_id in self.nodes:
-            self.nodes[old_id].state.unregister_local_member(str(guid_id))
-        op = TokenOperation(
-            op_type=TokenOperationType.MEMBER_HANDOFF,
-            origin=new_id,
-            member=moved,
-            previous_ap=old_id,
-            sequence=next(self._op_sequence),
-        )
-        self._node(new_id).capture(op)
-        return moved
-
-    def _current_record(self, ap: NodeId, guid: GloballyUniqueId) -> MemberInfo:
-        if ap in self.nodes:
-            record = self.nodes[ap].state.local_members.get(guid)
-            if record is not None:
-                return record
-            record = self.nodes[ap].state.ring_members.get(guid)
-            if record is not None:
-                return record
-        top_leader = self.hierarchy.topmost_ring().leader
-        if top_leader is not None and top_leader in self.nodes:
-            record = self.nodes[top_leader].state.ring_members.get(guid)
-            if record is not None:
-                return record
-        return MemberInfo(
-            guid=guid,
-            group=self.hierarchy.group,
-            ap=ap,
-            luid=make_luid(ap, guid, self._next_epoch(str(guid))),
-            status=MemberStatus.OPERATIONAL,
-        )
+        op = self.kernel.make_handoff_op(guid, old_ap, new_ap)
+        self._node(op.origin).capture(op)
+        assert op.member is not None
+        return op.member
 
     # ------------------------------------------------------------------
     # entity failure
@@ -668,78 +611,30 @@ class RGBProtocolCluster:
         """
         key = coerce_node(node_id)
         self.network.set_node_state(str(key), NodeState.FAILED)
-        self._failed_entities.add(key)
+        self.kernel.failed.add(key)
         if key in self.nodes:
             self.nodes[key].crashed = True
         self.metrics.counter("protocol.entity_crashes").increment()
 
     def note_entity_failure(self, node_id: NodeId, detector: NodeId) -> None:
-        """Called by a node that declared ``node_id`` faulty via timeouts."""
-        self._failed_entities.add(node_id)
+        """Called by a node that declared ``node_id`` faulty via timeouts.
+
+        The hierarchy surgery is the kernel's; survivors are *not* re-pointed
+        from global knowledge — they learn the repaired view from the token.
+        """
+        self.kernel.failed.add(node_id)
         if self.hierarchy.has_node(node_id):
-            ring = self.hierarchy.ring_of(node_id)
-            was_leader = ring.remove_member(node_id)
-            if was_leader:
-                ring.elect_leader()
-            self.hierarchy.ring_of_node.pop(node_id, None)
-            orphans = self.hierarchy.child_rings.pop(node_id, [])
-            new_parent = ring.leader
-            if new_parent is not None:
-                for ring_id in orphans:
-                    self.hierarchy.parent_node[ring_id] = new_parent
-                    self.hierarchy.child_rings.setdefault(new_parent, []).append(ring_id)
-                    child_leader = self.hierarchy.ring(ring_id).leader
-                    if child_leader is not None and new_parent in self.nodes:
-                        self.nodes[new_parent].state.add_child(child_leader)
-                        if child_leader in self.nodes:
-                            self.nodes[child_leader].state.set_parent(new_parent)
-        self._coverage_cache.clear()
+            self.kernel.exclude_entity(node_id, repoint_survivors=False, patch_parent_link=False)
+        self.kernel.invalidate_coverage()
         self.trace.record(self.engine.now, "repair", str(detector), f"excluded {node_id}")
 
     def build_failure_operations(self, failed: NodeId, observer: NodeId) -> List[TokenOperation]:
         """Operations reporting an entity failure and the members lost with it."""
-        ops: List[TokenOperation] = []
-        observer_state = self.nodes[observer].state
-        for member in observer_state.ring_members.members_at(failed):
-            ops.append(
-                TokenOperation(
-                    op_type=TokenOperationType.MEMBER_FAILURE,
-                    origin=observer,
-                    member=member.with_status(MemberStatus.FAILED),
-                    sequence=next(self._op_sequence),
-                )
-            )
-        ops.append(
-            TokenOperation(
-                op_type=TokenOperationType.NE_FAILURE,
-                origin=observer,
-                entity=failed,
-                sequence=next(self._op_sequence),
-            )
-        )
-        return ops
+        return self.kernel.failure_operations(failed, observer)
 
     # ------------------------------------------------------------------
     # operation application (shared with the structural semantics)
     # ------------------------------------------------------------------
-
-    def _coverage(self, ring_id: str) -> Set[str]:
-        cached = self._coverage_cache.get(ring_id)
-        if cached is not None:
-            return cached
-        ring = self.hierarchy.ring(ring_id)
-        members = set(ring.members)
-        covered: Set[str] = set()
-        for ap in self.hierarchy.access_proxies():
-            if ap in members:
-                covered.add(ap.value)
-                continue
-            for ancestor in self.hierarchy.ancestry(ap):
-                if ancestor in members:
-                    covered.add(ap.value)
-                    break
-        self._coverage_cache[ring_id] = covered
-        return covered
 
     def apply_operations(
         self, node_id: NodeId, operations: Sequence[TokenOperation]
@@ -748,54 +643,18 @@ class RGBProtocolCluster:
         if not self.hierarchy.has_node(node_id):
             return []
         ring = self.hierarchy.ring_of(node_id)
-        entity = self.nodes[node_id].state
-        coverage = self._coverage(ring.ring_id)
-        bottom_tier = self.hierarchy.bottom_tier()
-        events: List[object] = []
-        now = self.engine.now
-        for op in operations:
-            if not op.op_type.concerns_member or op.member is None:
-                continue
-            member = op.member
-            in_coverage = member.ap.value in coverage
-            if ring.tier == bottom_tier:
-                if member.ap == node_id and op.op_type in (
-                    TokenOperationType.MEMBER_JOIN,
-                    TokenOperationType.MEMBER_HANDOFF,
-                ):
-                    entity.local_members.add(member)
-                elif str(member.guid) in entity.local_members.guids() and (
-                    member.ap != node_id
-                    or op.op_type
-                    in (TokenOperationType.MEMBER_LEAVE, TokenOperationType.MEMBER_FAILURE)
-                ):
-                    entity.local_members.remove(member.guid)
-                if member.ap != node_id and member.ap in ring.members:
-                    if op.op_type in (
-                        TokenOperationType.MEMBER_JOIN,
-                        TokenOperationType.MEMBER_HANDOFF,
-                    ):
-                        entity.neighbor_members.add(member)
-                    else:
-                        entity.neighbor_members.remove(member.guid)
-                elif (
-                    str(member.guid) in entity.neighbor_members.guids()
-                    and member.ap not in ring.members
-                ):
-                    entity.neighbor_members.remove(member.guid)
-            if op.op_type in (TokenOperationType.MEMBER_JOIN, TokenOperationType.MEMBER_HANDOFF):
-                if in_coverage:
-                    event = entity.ring_members.apply(op, now)
-                else:
-                    event = None
-                    if str(member.guid) in entity.ring_members.guids():
-                        entity.ring_members.remove(member.guid)
-            else:
-                event = entity.ring_members.apply(op, now)
-            if event is not None:
-                events.append(event)
-                self.event_bus.publish(event)
-        return events
+        batch: "MembershipDelta | Sequence[TokenOperation]" = operations
+        if operations and self.config.batched_apply:
+            key = tuple(op.sequence for op in operations)
+            batch = self._delta_cache.get(key)
+            if batch is None:
+                if len(self._delta_cache) >= 256:
+                    self._delta_cache.clear()
+                batch = self.kernel.compile_delta(operations)
+                self._delta_cache[key] = batch
+        return list(
+            self.kernel.apply_operations_at(node_id, ring, batch, now=self.engine.now)
+        )
 
     # ------------------------------------------------------------------
     # reading state

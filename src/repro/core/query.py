@@ -143,8 +143,7 @@ class MembershipQueryService:
             contacted.append(leader)
             # Request out to the leader and the local answer back.
             hops += 2 * max(1, self._hops_to_tier(bottom) + 1)
-            for member in self._view_of(leader).members():
-                merged.add(member)
+            merged.merge_from(self._view_of(leader))
         return QueryResult(
             scheme=MembershipScheme.BMS,
             members=merged.members(),
@@ -172,8 +171,7 @@ class MembershipQueryService:
         for leader in leaders:
             contacted.append(leader)
             hops += 2 * max(1, self._hops_to_tier(tier))
-            for member in self._view_of(leader).members():
-                merged.add(member)
+            merged.merge_from(self._view_of(leader))
         return QueryResult(
             scheme=MembershipScheme.IMS,
             members=merged.members(),

@@ -197,6 +197,13 @@ class RGBSimulation:
     # structural information
     # ------------------------------------------------------------------
 
+    @property
+    def kernel(self):
+        """The shared token-round kernel behind whichever engine is active."""
+        self._require_built()
+        assert self.protocol is not None
+        return self.protocol.kernel
+
     def access_proxies(self) -> List[str]:
         self._require_built()
         assert self.hierarchy is not None
@@ -249,6 +256,32 @@ class RGBSimulation:
         assert member is not None
         self._member_location[str(member.guid)] = ap
         return member
+
+    def join_members(
+        self,
+        count: int,
+        ap_ids: Optional[List[str]] = None,
+        guid_prefix: str = "member",
+    ) -> List[MemberInfo]:
+        """Capture ``count`` joins before a single propagation (batched path).
+
+        The joins are spread round-robin over ``ap_ids`` (all participating
+        proxies by default) and left in the access proxies' message queues, so
+        one :meth:`run_until_quiescent` call aggregates them into shared token
+        rounds instead of propagating each join individually.
+        """
+        self._require_built()
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        aps = ap_ids if ap_ids is not None else self.access_proxies()
+        if not aps:
+            raise ValueError("no access proxies to join at")
+        members: List[MemberInfo] = []
+        for index in range(count):
+            guid = f"{guid_prefix}-{self._member_counter:06d}"
+            self._member_counter += 1
+            members.append(self.join_member(ap_id=aps[index % len(aps)], guid=guid))
+        return members
 
     def leave_member(self, guid: str) -> None:
         """The named member voluntarily leaves the group."""

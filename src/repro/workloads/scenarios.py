@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.config import SimulationConfig
+from repro.core.config import ProtocolConfig, SimulationConfig
+from repro.core.hierarchy import HierarchyBuilder
+from repro.core.one_round import OneRoundEngine
 from repro.core.query import MembershipScheme
 from repro.core.simulation import RGBSimulation
 from repro.workloads.churn import ChurnEvent, ChurnKind, ChurnWorkload
@@ -68,6 +71,72 @@ def run_churn_scenario(
         details={
             "expected_membership": len(joined),
             "workload": ChurnWorkload.summarize(events),
+        },
+    )
+
+
+def run_large_scale_scenario(
+    ring_size: int = 10,
+    height: int = 5,
+    joins: int = 16,
+    batched_apply: bool = True,
+    disseminate_downward: bool = True,
+    verify_rings: int = 25,
+) -> ScenarioResult:
+    """One full propagation over a regular hierarchy with ``ring_size**height``
+    access proxies (100 000 at the defaults) — the ROADMAP's scale direction.
+
+    The scenario builds the paper's regular analytical hierarchy directly
+    (skipping the 4-tier topology generator, which is not needed for protocol
+    scaling), captures ``joins`` membership joins spread across the proxies in
+    one batch, and drives a single :meth:`OneRoundEngine.propagate` so the
+    kernel aggregates them into shared token rounds and applies each ring's
+    operations as one compiled delta.
+
+    Returns wall-clock build/propagation timings, the round and hop counts,
+    and an agreement check over ``verify_rings`` sampled rings.
+    """
+    if joins < 1:
+        raise ValueError(f"joins must be >= 1, got {joins}")
+    config = ProtocolConfig(
+        aggregation_delay=0.0,
+        batched_apply=batched_apply,
+        disseminate_downward=disseminate_downward,
+    )
+    build_start = time.perf_counter()
+    hierarchy = HierarchyBuilder("large-scale").regular(ring_size=ring_size, height=height)
+    engine = OneRoundEngine(hierarchy, config=config)
+    build_seconds = time.perf_counter() - build_start
+    aps = hierarchy.access_proxies()
+    stride = max(1, len(aps) // joins)
+    for index in range(joins):
+        engine.member_join(aps[(index * stride) % len(aps)], f"big-{index:06d}")
+
+    propagate_start = time.perf_counter()
+    report = engine.propagate()
+    propagate_seconds = time.perf_counter() - propagate_start
+
+    ring_ids = sorted(hierarchy.rings)
+    sample_stride = max(1, len(ring_ids) // max(1, verify_rings))
+    sampled = ring_ids[::sample_stride][:verify_rings]
+    agreement = all(engine.ring_agreement(ring_id) for ring_id in sampled)
+
+    membership = len(engine.global_membership())
+    return ScenarioResult(
+        name="large_scale",
+        final_membership=membership,
+        events_processed=joins,
+        details={
+            "access_proxies": len(aps),
+            "rings": hierarchy.total_rings,
+            "entities": hierarchy.total_nodes(),
+            "build_seconds": build_seconds,
+            "propagate_seconds": propagate_seconds,
+            "rounds": report.round_count,
+            "hop_count": report.hop_count,
+            "joins_per_second": joins / propagate_seconds if propagate_seconds > 0 else 0.0,
+            "sampled_ring_agreement": agreement,
+            "batched_apply": batched_apply,
         },
     )
 

@@ -1,0 +1,163 @@
+"""Unit tests for the unified token-round kernel and the batched paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.deltas import MembershipDelta
+from repro.core.handoff import HandoffManager
+from repro.core.hierarchy import HierarchyBuilder
+from repro.core.identifiers import GloballyUniqueId, GroupId, NodeId, make_luid
+from repro.core.kernel import ProtocolError, TokenRoundKernel
+from repro.core.member import MemberInfo, MemberStatus
+from repro.core.membership import MembershipView
+from repro.core.one_round import OneRoundEngine
+from repro.core.partition import PartitionManager
+from repro.workloads.scenarios import run_large_scale_scenario
+
+
+def make_engine(ring_size=3, height=2, **protocol_kwargs) -> OneRoundEngine:
+    protocol_kwargs.setdefault("aggregation_delay", 0.0)
+    hierarchy = HierarchyBuilder("kernel-test").regular(ring_size=ring_size, height=height)
+    return OneRoundEngine(hierarchy, config=ProtocolConfig(**protocol_kwargs))
+
+
+class TestKernelSharedMachinery:
+    def test_both_drivers_expose_the_same_kernel_type(self):
+        from repro.core.simulation import RGBSimulation
+        from repro.core.config import SimulationConfig
+
+        structural = RGBSimulation(
+            SimulationConfig(num_aps=6, ring_size=3, hosts_per_ap=0)
+        ).build()
+        event = RGBSimulation(
+            SimulationConfig(num_aps=6, ring_size=3, hosts_per_ap=0, engine_mode="event")
+        ).build()
+        assert isinstance(structural.kernel, TokenRoundKernel)
+        assert isinstance(event.kernel, TokenRoundKernel)
+
+    def test_coverage_matches_ancestry_definition(self):
+        engine = make_engine(ring_size=3, height=3)
+        kernel = engine.kernel
+        hierarchy = engine.hierarchy
+        for ring_id, ring in hierarchy.rings.items():
+            expected = set()
+            members = set(ring.members)
+            for ap in hierarchy.access_proxies():
+                if ap in members or any(a in members for a in hierarchy.ancestry(ap)):
+                    expected.add(ap.value)
+            assert kernel.coverage(ring_id) == expected
+
+    def test_drain_for_round_reports_out_of_ring_senders(self):
+        engine = make_engine()
+        kernel = engine.kernel
+        ring = engine.hierarchy.bottom_rings()[0]
+        holder = ring.members[0]
+        op = kernel.make_join_op(holder, "alice")
+        outside = engine.hierarchy.topmost_ring().members[0]
+        kernel.entity(holder).mq.insert(op, sender=outside, now=0.0)
+        operations, child_senders = kernel.drain_for_round(kernel.entity(holder), ring.members)
+        assert operations == (op,)
+        assert child_senders == [outside]
+
+    def test_upward_target_requires_leader_and_healthy_parent(self):
+        engine = make_engine()
+        kernel = engine.kernel
+        ring = engine.hierarchy.bottom_rings()[0]
+        leader_entity = kernel.entity(ring.leader)
+        follower = next(n for n in ring.members if n != ring.leader)
+        assert kernel.upward_target(leader_entity, ring.leader) == leader_entity.parent
+        assert kernel.upward_target(kernel.entity(follower), ring.leader) is None
+        leader_entity.parent_ok = False
+        assert kernel.upward_target(leader_entity, ring.leader) is None
+
+    def test_ack_targets_dedupe_preserving_order(self):
+        engine = make_engine()
+        a, b = NodeId("a"), NodeId("b")
+        assert engine.kernel.ack_targets([b, a, b, a]) == [b, a]
+
+    def test_capture_requires_known_entity(self):
+        engine = make_engine()
+        with pytest.raises(ProtocolError):
+            engine.kernel.capture("no-such-node", engine.kernel.make_join_op(
+                engine.hierarchy.access_proxies()[0], "ghost"
+            ), 0.0)
+
+
+class TestBatchedEquivalenceInEngines:
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_propagation_same_views_and_hops(self, batched):
+        engine = make_engine(ring_size=3, height=3, batched_apply=batched)
+        aps = engine.hierarchy.access_proxies()
+        for index, ap in enumerate(aps[:9]):
+            engine.member_join(ap, f"m-{index:03d}")
+        report = engine.propagate()
+        assert len(engine.global_guids()) == 9
+        for ring_id in engine.hierarchy.rings:
+            assert engine.ring_agreement(ring_id)
+        # Hop counts are a pure protocol property — identical in both modes.
+        reference = make_engine(ring_size=3, height=3, batched_apply=not batched)
+        for index, ap in enumerate(aps[:9]):
+            reference.member_join(ap, f"m-{index:03d}")
+        assert reference.propagate().hop_count == report.hop_count
+        assert reference.global_guids() == engine.global_guids()
+
+    def test_handoff_batch_propagates_once(self):
+        engine = make_engine(ring_size=3, height=2)
+        aps = [str(a) for a in engine.hierarchy.access_proxies()]
+        for i in range(3):
+            engine.member_join(aps[i], f"m-{i}")
+        engine.propagate()
+        manager = HandoffManager(engine)
+        moves = [(f"m-{i}", aps[i], aps[(i + 1) % len(aps)]) for i in range(3)]
+        report = manager.handoff_batch(moves, now=1.0)
+        assert report is not None
+        assert manager.stats.total == 3
+        assert sorted(engine.global_guids()) == ["m-0", "m-1", "m-2"]
+        for i in range(3):
+            record = engine.entity(aps[(i + 1) % len(aps)]).local_members.get(f"m-{i}")
+            assert record is not None
+
+
+class TestPartitionMergeDelta:
+    def _view(self, name, members):
+        view = MembershipView(name, NodeId("obs"), GroupId("g"))
+        for guid, ap in members:
+            view.add(
+                MemberInfo(
+                    guid=GloballyUniqueId(guid),
+                    group=GroupId("g"),
+                    ap=NodeId(ap),
+                    luid=make_luid(ap, guid, 1),
+                    status=MemberStatus.OPERATIONAL,
+                )
+            )
+        return view
+
+    def test_merge_views_applies_single_delta(self):
+        primary = self._view("primary", [("a", "ap-1")])
+        detached = [
+            self._view("d1", [("b", "ap-2"), ("c", "ap-3")]),
+            self._view("d2", [("c", "ap-3"), ("d", "ap-4")]),
+        ]
+        gained = PartitionManager.merge_views(primary, detached)
+        assert gained == 3
+        assert primary.guids() == ["a", "b", "c", "d"]
+
+    def test_merge_delta_net_filters_across_views(self):
+        detached = [
+            self._view("d1", [("x", "ap-1")]),
+            self._view("d2", [("x", "ap-2")]),
+        ]
+        delta = PartitionManager.merge_delta(detached)
+        assert delta.guids() == ["x"]
+
+
+class TestLargeScaleScenarioSmall:
+    def test_small_configuration_runs_end_to_end(self):
+        result = run_large_scale_scenario(ring_size=3, height=2, joins=5, verify_rings=4)
+        assert result.final_membership == 5
+        assert result.details["access_proxies"] == 9
+        assert result.details["sampled_ring_agreement"] is True
+        assert result.details["rounds"] >= result.details["rings"]
