@@ -7,9 +7,14 @@ paper's regular hierarchies at r=8 for h in {3, 4, 5} (n = 512 / 4096 /
 apply paths, and writes the results to ``BENCH_kernel.json`` next to this
 script so future PRs can track the perf trajectory.
 
+With ``--matrix``, sweeps the event-driven scenario matrix instead
+(:mod:`repro.workloads.matrix`) and records per-cell throughput in
+``BENCH_matrix.json``.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--joins N] [--out PATH]
+    PYTHONPATH=src python benchmarks/run_bench.py --matrix [--matrix-sizes 1000 10000]
 """
 
 from __future__ import annotations
@@ -59,6 +64,39 @@ def measure_configuration(height: int, joins: int, batched: bool) -> dict:
     }
 
 
+def run_matrix(sizes, events, out_path: Path) -> None:
+    """Sweep the event-driven scenario matrix and archive cell throughput."""
+    from repro.analysis.tables import render_matrix
+    from repro.workloads.matrix import LOSS_RATES, SCENARIOS, ScenarioMatrix
+
+    matrix = ScenarioMatrix(sizes=tuple(sizes), events_per_cell=events)
+    results = matrix.run(progress=True)
+    print()
+    print(render_matrix([r.record for r in results]))
+    payload = {
+        "benchmark": "scenario-matrix throughput (event-driven harness)",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenarios": list(SCENARIOS),
+        "loss_rates": list(LOSS_RATES),
+        "sizes": list(sizes),
+        "events_per_cell": events,
+        "cells": [
+            dict(
+                r.record.to_json(),
+                wall_seconds=round(r.wall_seconds, 4),
+                dispatched_events=r.dispatched_events,
+                events_per_second=round(r.events_per_second, 1),
+                converged=r.converged,
+                ring_agreement=r.ring_agreement,
+            )
+            for r in results
+        ],
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--joins", type=int, default=32, help="joins per measured burst")
@@ -68,9 +106,34 @@ def main(argv=None) -> int:
         default=Path(__file__).resolve().parent / "BENCH_kernel.json",
         help="output JSON path",
     )
+    parser.add_argument(
+        "--matrix",
+        action="store_true",
+        help="run the scenario matrix sweep instead of the kernel benchmark",
+    )
+    parser.add_argument(
+        "--matrix-sizes",
+        type=int,
+        nargs="+",
+        default=[1_000],
+        help="proxy counts for the matrix sweep (1000 / 10000 / 100000)",
+    )
+    parser.add_argument(
+        "--matrix-events", type=int, default=24, help="workload events per matrix cell"
+    )
+    parser.add_argument(
+        "--matrix-out",
+        type=Path,
+        default=Path(__file__).resolve().parent / "BENCH_matrix.json",
+        help="matrix output JSON path",
+    )
     args = parser.parse_args(argv)
     if args.joins < 1:
         parser.error(f"--joins must be >= 1, got {args.joins}")
+
+    if args.matrix:
+        run_matrix(args.matrix_sizes, args.matrix_events, args.matrix_out)
+        return 0
 
     results = []
     for height in HEIGHTS:

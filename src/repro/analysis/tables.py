@@ -23,6 +23,7 @@ from repro.analysis.scalability import (
     ScalabilityRow,
     table1_rows,
 )
+from repro.sim.stats import RunRecord
 
 
 def _paper_hcn(n: int) -> Dict[str, int]:
@@ -91,6 +92,32 @@ def render_claims() -> str:
     )
 
 
+def render_matrix(records: Sequence["RunRecord"]) -> str:
+    """Scenario-matrix table from per-run :class:`repro.sim.stats.RunRecord`\\ s.
+
+    One row per cell of the harness sweep (scenario × proxies × loss), with
+    throughput and the convergence / ring-agreement verdict.  Accepts the
+    records emitted by :func:`repro.workloads.matrix.run_matrix_cell`.
+    """
+    lines = [
+        "Scenario matrix (event-driven harness over the lossy sim stack)",
+        f"{'scenario':<16} {'proxies':>8} {'loss%':>6} {'wl-ev':>6} {'rounds':>7} "
+        f"{'delivered':>9} {'dropped':>8} {'members':>8} {'wall s':>8} {'ev/s':>9} {'status':>10}",
+    ]
+    for record in records:
+        scenario = str(record.params.get("scenario", record.name))
+        loss = float(record.params.get("loss", 0.0))
+        ok = record.value("converged") >= 1.0 and record.value("ring_agreement") >= 1.0
+        lines.append(
+            f"{scenario:<16} {int(record.params.get('proxies', 0)):>8} {100.0 * loss:>6.1f} "
+            f"{int(record.value('workload_events')):>6} {record.counter('harness.rounds'):>7} "
+            f"{record.counter('transport.delivered'):>9} {record.counter('transport.dropped'):>8} "
+            f"{int(record.value('membership')):>8} {record.value('wall_seconds'):>8.2f} "
+            f"{record.value('events_per_second'):>9.0f} {'ok' if ok else 'INCOMPLETE':>10}"
+        )
+    return "\n".join(lines)
+
+
 def render_all() -> str:
     return "\n\n".join([render_table1(), render_table2(), render_claims()])
 
@@ -100,12 +127,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description="Regenerate the RGB paper's tables")
     parser.add_argument(
         "table",
-        choices=["table1", "table2", "claims", "all"],
+        choices=["table1", "table2", "claims", "matrix", "all"],
         nargs="?",
         default="all",
-        help="which artefact to print",
+        help="which artefact to print ('matrix' runs a small harness smoke sweep)",
     )
     args = parser.parse_args(argv)
+    if args.table == "matrix":
+        # Imported lazily: workloads.matrix imports this module for rendering.
+        from repro.workloads.matrix import ScenarioMatrix
+
+        results = ScenarioMatrix(sizes=(16,), events_per_cell=12).run()
+        print(render_matrix([r.record for r in results]))
+        return 0
     renderers = {
         "table1": render_table1,
         "table2": render_table2,

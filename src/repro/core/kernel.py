@@ -63,6 +63,79 @@ class ProtocolError(RuntimeError):
 OperationBatch = Union[MembershipDelta, Sequence[TokenOperation]]
 
 
+class MessageDispatch:
+    """Seam through which the kernel emits inter-entity protocol messages.
+
+    The kernel decides *what* travels (which operations are fresh for a ring,
+    who gets a Holder-Acknowledgement, where the token goes next); the
+    dispatch decides *how* it travels.  The default
+    :class:`DirectDispatch` delivers synchronously in shared memory — the
+    seed's structural semantics — while the event-driven scenario harness
+    (:mod:`repro.sim.harness`) injects a transport-backed dispatch so the same
+    decisions become real messages subject to latency, loss and retries.
+
+    ``emits_token_messages`` lets the kernel skip the per-hop callback
+    entirely for dispatches that do not model token hops as messages, keeping
+    the structural hot path free of the extra calls.
+    """
+
+    emits_token_messages: bool = False
+
+    def deliver_notification(
+        self,
+        kernel: "TokenRoundKernel",
+        sender: NodeId,
+        target: NodeId,
+        operations: Sequence[TokenOperation],
+        now: float,
+    ) -> None:
+        """Deliver a Notification-to-Parent/Child into ``target``'s queue."""
+        raise NotImplementedError
+
+    def deliver_holder_ack(
+        self, kernel: "TokenRoundKernel", holder: NodeId, target: NodeId, now: float
+    ) -> None:
+        """Deliver a Holder-Acknowledgement from ``holder`` to ``target``."""
+        raise NotImplementedError
+
+    def token_hop(
+        self, kernel: "TokenRoundKernel", sender: NodeId, receiver: NodeId, now: float
+    ) -> None:
+        """One token transmission along the ring (only called when
+        ``emits_token_messages`` is true)."""
+        raise NotImplementedError
+
+
+class DirectDispatch(MessageDispatch):
+    """Shared-memory delivery: the seed's synchronous structural semantics."""
+
+    emits_token_messages = False
+
+    def deliver_notification(
+        self,
+        kernel: "TokenRoundKernel",
+        sender: NodeId,
+        target: NodeId,
+        operations: Sequence[TokenOperation],
+        now: float,
+    ) -> None:
+        target_entity = kernel.entity(target)
+        for op in operations:
+            target_entity.mq.insert(op, sender=sender, now=now)
+
+    def deliver_holder_ack(
+        self, kernel: "TokenRoundKernel", holder: NodeId, target: NodeId, now: float
+    ) -> None:
+        # Structurally the acknowledgement has no receiver-side effect; the
+        # kernel already counts and traces it.
+        return None
+
+    def token_hop(
+        self, kernel: "TokenRoundKernel", sender: NodeId, receiver: NodeId, now: float
+    ) -> None:  # pragma: no cover - never called (emits_token_messages=False)
+        return None
+
+
 @dataclass
 class RoundResult:
     """Outcome of one token round in one ring."""
@@ -153,6 +226,11 @@ class TokenRoundKernel:
         area emits a membership event at the observing entity.  The structural
         engine historically reported these; the message-passing engine did
         not.  Both behaviours are preserved per driver.
+    dispatch:
+        The :class:`MessageDispatch` seam through which notifications,
+        holder-acknowledgements and (optionally) token hops leave an entity.
+        Defaults to :class:`DirectDispatch` (synchronous shared-memory
+        delivery); the scenario harness injects a transport-backed dispatch.
     """
 
     def __init__(
@@ -164,8 +242,10 @@ class TokenRoundKernel:
         trace: Optional[TraceRecorder] = None,
         entities: Optional[Mapping[NodeId, NetworkEntityState]] = None,
         emit_prune_events: bool = True,
+        dispatch: Optional[MessageDispatch] = None,
     ) -> None:
         self.hierarchy = hierarchy
+        self.dispatch = dispatch if dispatch is not None else DirectDispatch()
         self.config = config if config is not None else ProtocolConfig()
         self.metrics = metrics if metrics is not None else MetricRegistry()
         self.event_bus = event_bus if event_bus is not None else MembershipEventBus()
@@ -178,8 +258,18 @@ class TokenRoundKernel:
         self.emit_prune_events = emit_prune_events
         self.failed: Set[NodeId] = set()
         self._op_sequence = itertools.count(1)
+        # Token ids are per-kernel, not process-global: two identically seeded
+        # runs in one process must produce identical traces (golden tests).
+        self._token_ids = itertools.count(1)
         self._member_epochs: Dict[str, int] = {}
         self.ring_seen: Dict[str, Set[int]] = {ring_id: set() for ring_id in hierarchy.rings}
+        # Highest operation sequence a ring has circulated per member GUID.
+        # Event-driven transports can reorder notifications (a lost-and-resent
+        # join may arrive after the member's later leave was already applied);
+        # this map lets receivers drop such stale operations.
+        self.ring_applied_seq: Dict[str, Dict[str, int]] = {
+            ring_id: {} for ring_id in hierarchy.rings
+        }
         self._ring_holder: Dict[str, NodeId] = {}
         self._coverage_cache: Dict[str, Set[str]] = {}
         # Ring tiers are fixed at construction (repair removes members, never
@@ -359,9 +449,38 @@ class TokenRoundKernel:
     def fresh_for_ring(
         self, ring_id: str, operations: Sequence[TokenOperation]
     ) -> List[TokenOperation]:
-        """Operations the target ring has not seen yet (notification filter)."""
+        """Operations the target ring has not seen yet and that are not stale
+        (notification filter)."""
         seen = self.ring_seen[ring_id]
-        return [op for op in operations if op.sequence not in seen]
+        return [
+            op
+            for op in operations
+            if op.sequence not in seen and not self.is_stale_for_ring(ring_id, op)
+        ]
+
+    def is_stale_for_ring(self, ring_id: str, operation: TokenOperation) -> bool:
+        """True when the ring already circulated a *newer* operation about the
+        same member.  Sequences are globally monotonic in capture order, so a
+        lower-sequence operation arriving late (reordered by loss + resend)
+        must not supersede the member's most recent state."""
+        member = operation.member
+        if member is None:
+            return False
+        applied = self.ring_applied_seq.get(ring_id)
+        if not applied:
+            return False
+        return operation.sequence < applied.get(member.guid.value, 0)
+
+    def note_circulated(self, ring_id: str, operations: Iterable[TokenOperation]) -> None:
+        """Record the per-member sequence high-water marks of a round's batch."""
+        applied = self.ring_applied_seq.setdefault(ring_id, {})
+        for op in operations:
+            member = op.member
+            if member is None:
+                continue
+            guid = member.guid.value
+            if op.sequence > applied.get(guid, 0):
+                applied[guid] = op.sequence
 
     def mark_seen(self, ring_id: str, operations: Iterable[TokenOperation]) -> None:
         seen = self.ring_seen[ring_id]
@@ -752,12 +871,14 @@ class TokenRoundKernel:
         holder_entity = self.entity(holder_id)
         operations, child_senders = self.drain_for_round(holder_entity, ring.members)
         self.mark_seen(ring_id, operations)
+        self.note_circulated(ring_id, operations)
 
         token = Token(
             group=self.hierarchy.group,
             holder=holder_id,
             ring_id=ring_id,
             operations=operations,
+            token_id=next(self._token_ids),
         )
         result = RoundResult(ring_id=ring_id, holder=holder_id, operations=operations)
         self.metrics.counter("rounds.started").increment()
@@ -772,11 +893,15 @@ class TokenRoundKernel:
 
         order = ring.members_from(holder_id)
         forwarded_up = False
+        emit_token = self.dispatch.emits_token_messages
+        prev_node = holder_id
         index = 0
         while index < len(order):
             node = order[index]
             if node != holder_id:
                 result.token_hops += 1
+                if emit_token:
+                    self.dispatch.token_hop(self, prev_node, node, now)
             if node in self.failed:
                 # Detection by token retransmission, then local repair.
                 result.retransmissions += self.config.token_retry_limit + 1
@@ -802,6 +927,7 @@ class TokenRoundKernel:
                     publish(event)
                 result.events.extend(events)
             entity.ring_ok = True  # Figure 3 line 09
+            prev_node = node
 
             # Figure 3 lines 10-13: leader forwards to its parent.
             if operations:
@@ -823,6 +949,8 @@ class TokenRoundKernel:
         # Closing hop: the token travels from the last visited node back to the holder.
         if len(result.visited) >= 2:
             result.token_hops += 1
+            if emit_token:
+                self.dispatch.token_hop(self, prev_node, holder_id, now)
 
         # If the ring leader failed mid-round (before its turn), the repaired
         # ring's new leader still has to report the operations to the parent.
@@ -844,6 +972,7 @@ class TokenRoundKernel:
                 self.metrics.counter("messages.holder_ack").increment()
                 if self.trace.enabled:
                     self.trace.record(now, "ack", str(holder_id), f"holder-ack to {sender}")
+                self.dispatch.deliver_holder_ack(self, holder_id, sender, now)
 
         # Figure 3 lines 21-23: control of a fresh token moves to the next node.
         if ring.members:
@@ -907,10 +1036,11 @@ class TokenRoundKernel:
         fresh = self.fresh_for_ring(target_ring_id, operations)
         if not fresh:
             return 0
-        target_entity = self.entity(target)
-        for op in fresh:
-            target_entity.mq.insert(op, sender=sender, now=now)
+        # Mark seen at send time: the seen-set is the "at most one propagation
+        # per ring" dedup, and a transport-backed dispatch keeps retrying a
+        # lost notification until it lands, so marking early never strands ops.
         self.mark_seen(target_ring_id, fresh)
+        self.dispatch.deliver_notification(self, sender, target, fresh, now)
         self.metrics.counter("messages.notifications").increment()
         if self.trace.enabled:
             self.trace.record(

@@ -107,9 +107,16 @@ class MessageQueue:
     def _merge_member_ops(
         earlier: Optional[QueuedMessage], later: QueuedMessage
     ) -> Optional[QueuedMessage]:
-        """Collapse two queued operations about the same member."""
+        """Collapse two queued operations about the same member.
+
+        "Earlier"/"later" follow the operations' capture *sequence*, not their
+        arrival order: a lossy transport can deliver an older operation after
+        a newer one, and the newer state must win the aggregation either way.
+        """
         if earlier is None:
             return later
+        if earlier.operation.sequence > later.operation.sequence:
+            earlier, later = later, earlier
         e, l = earlier.operation, later.operation
         # Identical repeated operation: keep the earlier one.
         if e.op_type is l.op_type and e.member == l.member:

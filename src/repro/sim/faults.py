@@ -136,7 +136,11 @@ class FaultInjector:
         self.network = network
         self.metrics = metrics if metrics is not None else MetricRegistry()
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
-        self._rng = streams.stream("faults")
+        # Each random fault *process* draws from its own named substream, so
+        # generating a crash plan never shifts the disconnection schedule (or
+        # any other component's draws) under the same master seed.
+        self._crash_rng = streams.substream("faults", "poisson")
+        self._disconnect_rng = streams.substream("faults", "transient")
         self._listeners: List[Callable[[FaultEvent], None]] = []
         self.applied: List[FaultEvent] = []
 
@@ -223,7 +227,7 @@ class FaultInjector:
         if rate_per_node == 0:
             return plan
         for node_id in node_ids:
-            first_arrival = float(self._rng.exponential(1.0 / rate_per_node))
+            first_arrival = float(self._crash_rng.exponential(1.0 / rate_per_node))
             if first_arrival <= horizon:
                 plan.crash(node_id, time=first_arrival)
         return plan
@@ -244,10 +248,10 @@ class FaultInjector:
         for node_id in node_ids:
             t = 0.0
             while True:
-                t += float(self._rng.exponential(1.0 / rate_per_node))
+                t += float(self._disconnect_rng.exponential(1.0 / rate_per_node))
                 if t > horizon:
                     break
-                downtime = float(self._rng.exponential(mean_downtime))
+                downtime = float(self._disconnect_rng.exponential(mean_downtime))
                 plan.disconnect(node_id, time=t, duration=downtime)
                 t += downtime
         return plan

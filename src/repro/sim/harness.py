@@ -1,0 +1,688 @@
+"""Event-driven scenario harness: the kernel on top of the lossy sim stack.
+
+Before this module, the ``sim`` layer (engine, transport, faults, mobility)
+and the unified :class:`repro.core.kernel.TokenRoundKernel` were only loosely
+connected: packaged scenarios stepped the kernel synchronously and the
+fault/mobility machinery was unit-tested in isolation.  The harness closes
+that gap:
+
+* **Kernel rounds as events.**  Membership captures and notification
+  deliveries schedule token rounds on the
+  :class:`repro.sim.engine.SimulationEngine`; each round executes the
+  kernel's Figure 3 state machine at its simulated time.
+* **Messages through the transport.**  The kernel's
+  :class:`repro.core.kernel.MessageDispatch` seam is bound to a
+  :class:`TransportDispatch` that turns Notification-to-Parent/Child,
+  Holder-Acknowledgement and per-hop token transmissions into real
+  :class:`repro.sim.transport.Transport` messages subject to configurable
+  latency and per-link loss.  Lost notifications are re-sent with backoff
+  until they land (the paper's retransmission masking), so a lossy run
+  converges to the same membership view as a lossless one.
+* **Faults and mobility drive the protocol.**  A
+  :class:`repro.sim.faults.FaultInjector` crash marks the entity failed in
+  the kernel and lets the next token circulation *discover* it — the
+  kernel's ring-repair surgery runs, instead of being simulated around.
+  :class:`repro.sim.mobility.MobilityTrace` events replay as timed
+  join/handoff/leave captures.
+
+Every scenario-matrix cell (:mod:`repro.workloads.matrix`) composes against
+this harness instead of hand-rolling a driver.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.config import ProtocolConfig
+from repro.core.events import MembershipEventBus
+from repro.core.hierarchy import HierarchyBuilder, RingHierarchy
+from repro.core.identifiers import NodeId, coerce_node
+from repro.core.kernel import MessageDispatch, TokenRoundKernel
+from repro.core.member import MemberInfo
+from repro.core.partition import PartitionReport, detect_partitions
+from repro.core.token import TokenOperation
+from repro.sim.engine import SimulationEngine
+from repro.sim.faults import FaultEvent, FaultInjector, FaultKind, FaultPlan
+from repro.sim.mobility import AttachmentEvent, HandoffEvent, MobilityTrace
+from repro.sim.network import LatencyModel, Network, NetworkNode, NodeState
+from repro.sim.rng import RandomStreams
+from repro.sim.stats import MetricRegistry, RunRecord
+from repro.sim.trace import TraceRecorder
+from repro.sim.transport import Message, Transport
+
+#: Wire tags of the harness's three message classes.
+MSG_NOTIFY = "rgb.notify"
+MSG_TOKEN = "rgb.token"
+MSG_HOLDER_ACK = "rgb.holder-ack"
+
+
+class HarnessError(RuntimeError):
+    """Raised for invalid harness configuration or usage."""
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Configuration of one :class:`ScenarioHarness` run.
+
+    Parameters
+    ----------
+    ring_size, height:
+        Shape of the regular hierarchy (``ring_size ** height`` access
+        proxies), the paper's analytical topology.
+    seed:
+        Master seed for every named random stream of the run.
+    loss:
+        Per-link message loss probability (each logical edge of the harness
+        network is one link; leader→parent paths are usually one link,
+        holder-ack paths up to three).
+    latency_mean, latency_std:
+        Per-link delay distribution.  ``latency_std=0`` makes delays
+        deterministic, which the golden-trace suite relies on.
+    transport_retries:
+        Link-level retransmissions the transport itself attempts per send.
+    resend_limit, resend_backoff:
+        Dispatch-level reliability: how often (and how spaced) an undelivered
+        notification is re-sent before the harness re-routes or gives up.
+    round_delay:
+        Delay between an entity's queue becoming non-empty and the token
+        round that drains it (the event-driven analogue of the structural
+        engine's immediate round).
+    crash_detection_delay:
+        How long after an entity crash the perpetually circulating token is
+        assumed to notice it (schedules a probe round in the crashed
+        entity's ring).
+    protocol:
+        Kernel tunables; ``aggregation_delay`` is ignored by the harness
+        (``round_delay`` plays that role on the event queue).
+    trace_enabled, trace_capacity:
+        Structured trace recording (golden-trace tests switch this on).
+    """
+
+    ring_size: int = 4
+    height: int = 2
+    seed: int = 0
+    loss: float = 0.0
+    latency_mean: float = 2.0
+    latency_std: float = 0.5
+    transport_retries: int = 2
+    resend_limit: int = 25
+    resend_backoff: float = 20.0
+    round_delay: float = 1.0
+    crash_detection_delay: float = 5.0
+    protocol: ProtocolConfig = field(default_factory=lambda: ProtocolConfig(aggregation_delay=0.0))
+    trace_enabled: bool = False
+    trace_capacity: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.ring_size < 2:
+            raise HarnessError(f"ring_size must be >= 2, got {self.ring_size}")
+        if self.height < 1:
+            raise HarnessError(f"height must be >= 1, got {self.height}")
+        if not 0.0 <= self.loss < 1.0:
+            raise HarnessError(f"loss must be in [0, 1), got {self.loss}")
+        if self.resend_limit < 0:
+            raise HarnessError(f"resend_limit must be >= 0, got {self.resend_limit}")
+        if self.round_delay <= 0 or self.resend_backoff <= 0:
+            raise HarnessError("round_delay and resend_backoff must be positive")
+
+    @property
+    def num_proxies(self) -> int:
+        return self.ring_size ** self.height
+
+
+@dataclass
+class HarnessResult:
+    """Outcome summary of one harness run."""
+
+    sim_time: float
+    dispatched_events: int
+    converged: bool
+    ring_agreement: bool
+    membership: int
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Full propagation: every queue drained and sampled rings agree."""
+        return self.converged and self.ring_agreement
+
+
+@dataclass
+class _PendingNotification:
+    """A notification the dispatch has sent but not yet seen delivered.
+
+    ``target_ring_id`` remembers which ring's seen-set the operations were
+    marked against at send time — after a repair excises the target, the ring
+    itself survives, and a re-route must un-mark there or the surviving
+    members would filter the retried operations as duplicates.
+    """
+
+    sender: NodeId
+    target: NodeId
+    operations: Tuple[TokenOperation, ...]
+    target_ring_id: str
+    attempts: int = 1
+
+
+class TransportDispatch(MessageDispatch):
+    """Kernel dispatch that routes protocol messages over the transport.
+
+    Notifications are *reliable within a budget*: the dispatch tracks every
+    send and re-sends (with backoff) until the receiving entity's handler
+    confirms insertion, re-routing via the kernel's repair logic when the
+    target has crashed in the meantime, and giving up only after
+    ``resend_limit`` attempts at a live target that stayed unreachable the
+    whole time.  Token hops and holder-acknowledgements are fire-and-forget
+    messages — their loss is already modelled by the kernel's retransmission
+    counters and has no receiver-side state to lose.
+    """
+
+    emits_token_messages = True
+
+    def __init__(self, harness: "ScenarioHarness") -> None:
+        self.harness = harness
+        self._pending: Dict[int, _PendingNotification] = {}
+        self._ids = itertools.count(1)
+
+    # -- MessageDispatch interface ------------------------------------------
+
+    def deliver_notification(
+        self,
+        kernel: TokenRoundKernel,
+        sender: NodeId,
+        target: NodeId,
+        operations: Sequence[TokenOperation],
+        now: float,
+    ) -> None:
+        ring_id = kernel.hierarchy.ring_of(target).ring_id
+        self._transmit(_PendingNotification(sender, target, tuple(operations), ring_id))
+
+    def deliver_holder_ack(
+        self, kernel: TokenRoundKernel, holder: NodeId, target: NodeId, now: float
+    ) -> None:
+        self.harness.transport.send(str(holder), str(target), MSG_HOLDER_ACK, {})
+
+    def token_hop(
+        self, kernel: TokenRoundKernel, sender: NodeId, receiver: NodeId, now: float
+    ) -> None:
+        self.harness.transport.send(str(sender), str(receiver), MSG_TOKEN, {})
+
+    # -- reliable notification plumbing -------------------------------------
+
+    def _transmit(self, pending: _PendingNotification) -> None:
+        harness = self.harness
+        dispatch_id = next(self._ids)
+        self._pending[dispatch_id] = pending
+        receipt = harness.transport.send(
+            str(pending.sender),
+            str(pending.target),
+            MSG_NOTIFY,
+            {
+                "dispatch_id": dispatch_id,
+                "sender": str(pending.sender),
+                "operations": pending.operations,
+            },
+            retries=harness.config.transport_retries,
+        )
+        if not receipt.accepted and receipt.reason == "no-path":
+            # The minimal link graph lost its route (e.g. repair re-attached a
+            # ring under a new parent).  The underlying IP network routes
+            # anywhere, so materialise a recovery link and retry immediately.
+            harness._ensure_link(str(pending.sender), str(pending.target))
+            self._pending.pop(dispatch_id, None)
+            self._transmit(pending)
+            return
+        if receipt.accepted and receipt.expected_delivery is not None:
+            wait = (receipt.expected_delivery - harness.engine.now) + harness.config.resend_backoff
+        else:
+            wait = harness.config.resend_backoff
+
+        def check(_engine: SimulationEngine) -> None:
+            if dispatch_id not in self._pending:
+                return  # delivered
+            entry = self._pending.pop(dispatch_id)
+            kernel = harness.kernel
+            if entry.target in kernel.failed or not kernel.hierarchy.has_node(entry.target):
+                # The target crashed while the message was in flight; resending
+                # at it is pointless — re-route through the repair logic now.
+                harness._reroute_notification(entry)
+                return
+            if entry.attempts > harness.config.resend_limit:
+                # The target is alive but has been unreachable for the whole
+                # resend budget (e.g. an unhealed disconnection): genuinely
+                # give up.  Un-mark the seen-set so a later notification from
+                # another path may still carry the operations.
+                harness.metrics.counter("harness.notify_abandoned").increment()
+                seen = kernel.ring_seen.get(entry.target_ring_id)
+                if seen is not None:
+                    seen.difference_update(op.sequence for op in entry.operations)
+                return
+            harness.metrics.counter("harness.notify_resends").increment()
+            entry.attempts += 1
+            self._transmit(entry)
+
+        harness.engine.schedule(wait, check, label=f"notify-check:{pending.target}")
+
+    def on_delivered(self, message: Message) -> None:
+        """Called by the harness handler when a notify message arrives."""
+        dispatch_id = message.payload.get("dispatch_id")
+        entry = self._pending.pop(int(dispatch_id), None) if dispatch_id is not None else None
+        if entry is None:
+            return  # duplicate or unknown — already handled
+        self.harness._accept_notification(entry)
+
+
+class ScenarioHarness:
+    """Drives the token-round kernel through the discrete-event sim stack."""
+
+    def __init__(self, config: Optional[HarnessConfig] = None) -> None:
+        self.config = config if config is not None else HarnessConfig()
+        cfg = self.config
+        self.streams = RandomStreams(cfg.seed)
+        self.metrics = MetricRegistry()
+        self.trace = TraceRecorder(enabled=cfg.trace_enabled, capacity=cfg.trace_capacity)
+        self.event_bus = MembershipEventBus()
+        self.engine = SimulationEngine()
+
+        self.hierarchy: RingHierarchy = HierarchyBuilder("harness").regular(
+            ring_size=cfg.ring_size, height=cfg.height
+        )
+        self._latency = LatencyModel(
+            mean=cfg.latency_mean,
+            std=cfg.latency_std,
+            loss=cfg.loss,
+        )
+        self.network = self._build_network()
+        self.transport = Transport(
+            self.engine,
+            self.network,
+            self.streams,
+            metrics=self.metrics,
+            trace=self.trace,
+            default_retries=cfg.transport_retries,
+        )
+        self.dispatch = TransportDispatch(self)
+        self.kernel = TokenRoundKernel(
+            self.hierarchy,
+            config=cfg.protocol,
+            metrics=self.metrics,
+            event_bus=self.event_bus,
+            trace=self.trace,
+            dispatch=self.dispatch,
+        )
+        self.faults = FaultInjector(
+            self.engine,
+            self.network,
+            self.streams,
+            metrics=self.metrics,
+            trace=self.trace,
+        )
+        self.faults.on_fault(self._on_fault)
+        for node_id in self.kernel.entities:
+            self.transport.register(str(node_id), self._on_message)
+
+        self._round_scheduled: Set[str] = set()
+        self._member_location: Dict[str, NodeId] = {}
+        self._member_counter = 0
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _build_network(self) -> Network:
+        """One network node per hierarchy entity; links mirror the logical
+        edges the protocol uses (ring circulation + member↔parent)."""
+        network = Network()
+        bottom = self.hierarchy.bottom_tier()
+        top = self.hierarchy.top_tier()
+        for ring in self.hierarchy.rings.values():
+            kind = "AP" if ring.tier == bottom else ("BR" if ring.tier == top else "AG")
+            for node in ring.members:
+                network.add_node(NetworkNode(node_id=node.value, kind=kind, tier=ring.tier))
+        for ring_id, ring in self.hierarchy.rings.items():
+            members = ring.members
+            if len(members) > 1:
+                for index, node in enumerate(members):
+                    succ = members[(index + 1) % len(members)]
+                    if not network.has_link(node.value, succ.value):
+                        network.add_link(node.value, succ.value, self._latency)
+            parent = self.hierarchy.parent_node.get(ring_id)
+            if parent is not None:
+                for node in members:
+                    if not network.has_link(parent.value, node.value):
+                        network.add_link(parent.value, node.value, self._latency)
+        return network
+
+    def _ensure_link(self, a: str, b: str) -> None:
+        if not self.network.has_link(a, b):
+            self.network.add_link(a, b, self._latency)
+            self.metrics.counter("harness.recovery_links").increment()
+
+    # ------------------------------------------------------------------
+    # structural information
+    # ------------------------------------------------------------------
+
+    def access_proxies(self) -> List[str]:
+        return [str(n) for n in self.hierarchy.access_proxies()]
+
+    def ring_neighbor_map(self) -> Dict[str, List[str]]:
+        """AP → other members of its bottom ring (handoff-storm locality)."""
+        out: Dict[str, List[str]] = {}
+        for ring in self.hierarchy.bottom_rings():
+            for node in ring.members:
+                out[node.value] = [m.value for m in ring.members if m != node]
+        return out
+
+    def operational_entities(self) -> List[NodeId]:
+        """Entities that are up at both the kernel and the network level."""
+        failed = self.kernel.failed
+        out = []
+        for node in self.kernel.entities:
+            if node in failed:
+                continue
+            if self.network.has_node(node.value) and not self.network.node(node.value).is_operational:
+                continue
+            out.append(node)
+        return out
+
+    def global_membership(self) -> List[MemberInfo]:
+        leader = self.hierarchy.topmost_ring().leader
+        if leader is None:
+            raise HarnessError("topmost ring has no leader")
+        return self.kernel.entity(leader).ring_members.members()
+
+    def global_guids(self) -> List[str]:
+        return sorted(str(m.guid) for m in self.global_membership())
+
+    def ring_agreement(self, verify_rings: Optional[int] = None) -> bool:
+        """Every operational member of (sampled) rings holds the same view."""
+        ring_ids = sorted(self.hierarchy.rings)
+        if verify_rings is not None and verify_rings < len(ring_ids):
+            stride = max(1, len(ring_ids) // verify_rings)
+            ring_ids = ring_ids[::stride][:verify_rings]
+        failed = self.kernel.failed
+        for ring_id in ring_ids:
+            views = [
+                self.kernel.entity(node).ring_members
+                for node in self.hierarchy.ring(ring_id).members
+                if node not in failed
+            ]
+            if len(views) <= 1:
+                continue
+            first = views[0]
+            if not all(first.agrees_with(view) for view in views[1:]):
+                return False
+        return True
+
+    def partition_report(self) -> PartitionReport:
+        return detect_partitions(self.hierarchy, self.operational_entities())
+
+    # ------------------------------------------------------------------
+    # timed workload scheduling
+    # ------------------------------------------------------------------
+
+    def schedule_join(self, time: float, ap: str, guid: Optional[str] = None) -> str:
+        if guid is None:
+            guid = f"member-{self._member_counter:06d}"
+            self._member_counter += 1
+        self.engine.schedule_at(
+            time, lambda _e: self._capture_join(ap, guid), label=f"join:{guid}"
+        )
+        return guid
+
+    def schedule_leave(self, time: float, guid: str) -> None:
+        self.engine.schedule_at(time, lambda _e: self._capture_leave(guid), label=f"leave:{guid}")
+
+    def schedule_failure(self, time: float, guid: str) -> None:
+        self.engine.schedule_at(
+            time, lambda _e: self._capture_member_failure(guid), label=f"fail:{guid}"
+        )
+
+    def schedule_handoff(self, time: float, guid: str, to_ap: str) -> None:
+        self.engine.schedule_at(
+            time, lambda _e: self._capture_handoff(guid, to_ap), label=f"handoff:{guid}"
+        )
+
+    def schedule_crash(self, time: float, node_id: str) -> None:
+        """Crash a network entity through the fault injector at ``time``."""
+        self.faults.apply_plan(FaultPlan().crash(node_id, time=time))
+
+    def schedule_fault_plan(self, plan: FaultPlan) -> None:
+        self.faults.apply_plan(plan)
+
+    def schedule_mobility_trace(self, trace: MobilityTrace) -> int:
+        """Replay attachment/handoff events as timed captures; returns count."""
+        count = 0
+        for event in trace.all_events():
+            if isinstance(event, AttachmentEvent):
+                if event.attach:
+                    self.schedule_join(event.time, event.ap_id, guid=event.host_id)
+                else:
+                    self.schedule_leave(event.time, event.host_id)
+            elif isinstance(event, HandoffEvent):
+                self.schedule_handoff(event.time, event.host_id, event.to_ap)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # capture handlers (run at their simulated times)
+    # ------------------------------------------------------------------
+
+    def _capturable(self, ap: "NodeId | str") -> Optional[NodeId]:
+        key = coerce_node(ap)
+        if key in self.kernel.failed or not self.hierarchy.has_node(key):
+            self.metrics.counter("harness.captures_skipped").increment()
+            return None
+        return key
+
+    def _capture_join(self, ap: str, guid: str) -> None:
+        key = self._capturable(ap)
+        if key is None:
+            return
+        op = self.kernel.make_join_op(key, guid)
+        self.kernel.capture(key, op, self.engine.now)
+        self._member_location[guid] = key
+        self._schedule_round(self.hierarchy.ring_of(key).ring_id)
+
+    def _capture_leave(self, guid: str) -> None:
+        location = self._member_location.get(guid)
+        key = self._capturable(location) if location is not None else None
+        if key is None:
+            return
+        op = self.kernel.make_leave_op(key, guid)
+        self.kernel.capture(key, op, self.engine.now)
+        self._member_location.pop(guid, None)
+        self._schedule_round(self.hierarchy.ring_of(key).ring_id)
+
+    def _capture_member_failure(self, guid: str) -> None:
+        location = self._member_location.get(guid)
+        key = self._capturable(location) if location is not None else None
+        if key is None:
+            return
+        op = self.kernel.make_failure_op(key, guid)
+        self.kernel.capture(key, op, self.engine.now)
+        self._member_location.pop(guid, None)
+        self._schedule_round(self.hierarchy.ring_of(key).ring_id)
+
+    def _capture_handoff(self, guid: str, to_ap: str) -> None:
+        old = self._member_location.get(guid)
+        new = self._capturable(to_ap)
+        if old is None or new is None or old == new:
+            self.metrics.counter("harness.captures_skipped").increment()
+            return
+        op = self.kernel.make_handoff_op(guid, old, new)
+        self.kernel.capture(new, op, self.engine.now)
+        self._member_location[guid] = new
+        self._schedule_round(self.hierarchy.ring_of(new).ring_id)
+
+    # ------------------------------------------------------------------
+    # message and fault handling
+    # ------------------------------------------------------------------
+
+    def _on_message(self, message: Message) -> None:
+        if message.msg_type == MSG_NOTIFY:
+            self.dispatch.on_delivered(message)
+        # MSG_TOKEN / MSG_HOLDER_ACK carry no receiver-side state: the round
+        # outcome is the kernel's, the transport already recorded the traffic.
+
+    def _accept_notification(self, entry: _PendingNotification) -> None:
+        """A notify message reached its destination: insert and run a round."""
+        target = entry.target
+        if target in self.kernel.failed or not self.hierarchy.has_node(target):
+            self._reroute_notification(entry)
+            return
+        entity = self.kernel.entity(target)
+        ring_id = self.hierarchy.ring_of(target).ring_id
+        now = self.engine.now
+        inserted = False
+        for op in entry.operations:
+            # A lost-and-resent notification can arrive after a newer
+            # operation about the same member already circulated here; such
+            # stale operations must not resurrect outdated state.
+            if self.kernel.is_stale_for_ring(ring_id, op):
+                self.metrics.counter("harness.stale_ops_dropped").increment()
+                continue
+            entity.mq.insert(op, sender=entry.sender, now=now)
+            inserted = True
+        self.metrics.counter("harness.notifications_delivered").increment()
+        if inserted:
+            self._schedule_round(ring_id)
+
+    def _reroute_notification(self, entry: _PendingNotification) -> None:
+        """The target died (or vanished) while the notification was in flight.
+
+        Un-mark the operations from the target ring's seen-set — they never
+        arrived — and push them back through the kernel's forwarding logic,
+        which repairs the failed target's ring and re-targets the surviving
+        counterpart (new leader or new parent).
+        """
+        kernel = self.kernel
+        sender, target = entry.sender, entry.target
+        if sender in kernel.failed:
+            return
+        self.metrics.counter("harness.notify_rerouted").increment()
+        # The operations never arrived: un-mark them from the ring they were
+        # marked seen against, or the retry would be filtered as a duplicate.
+        seen = kernel.ring_seen.get(entry.target_ring_id)
+        if seen is not None:
+            seen.difference_update(op.sequence for op in entry.operations)
+        if self.hierarchy.has_node(target):
+            kernel.forward_notification(sender, target, entry.operations, self.engine.now)
+            return
+        # Already repaired away: fall back to the sender's current parent (the
+        # repair surgery re-attached orphaned rings there).
+        fallback = None
+        if sender in kernel.entities:
+            fallback = kernel.entities[sender].parent
+        if fallback is not None and fallback != target:
+            kernel.forward_notification(sender, fallback, entry.operations, self.engine.now)
+
+    def _on_fault(self, event: FaultEvent) -> None:
+        if event.kind is not FaultKind.CRASH:
+            return  # disconnections/link faults act purely at the network level
+        key = coerce_node(str(event.target))
+        if key not in self.kernel.entities or key in self.kernel.failed:
+            return
+        if not self.hierarchy.has_node(key):
+            return
+        ring_id = self.hierarchy.ring_of(key).ring_id
+        self.kernel.fail_entity(key, now=self.engine.now)
+        # The perpetually circulating token notices the silent crash within a
+        # circulation: schedule a probe round that walks the ring and repairs.
+        self._schedule_round(ring_id, delay=self.config.crash_detection_delay)
+
+    # ------------------------------------------------------------------
+    # round scheduling
+    # ------------------------------------------------------------------
+
+    def _schedule_round(self, ring_id: str, delay: Optional[float] = None) -> None:
+        if ring_id in self._round_scheduled:
+            return
+        self._round_scheduled.add(ring_id)
+        self.engine.schedule(
+            self.config.round_delay if delay is None else delay,
+            lambda _e: self._run_ring_round(ring_id),
+            label=f"round:{ring_id}",
+        )
+
+    def _run_ring_round(self, ring_id: str) -> None:
+        self._round_scheduled.discard(ring_id)
+        kernel = self.kernel
+        ring = self.hierarchy.rings.get(ring_id)
+        if ring is None or ring.is_empty:
+            return
+        failed = kernel.failed
+        operational = [n for n in ring.members if n not in failed]
+        if not operational:
+            return
+        has_work = any(not kernel.entities[n].mq.is_empty for n in operational)
+        needs_repair = len(operational) != len(ring.members)
+        if not has_work and not needs_repair:
+            return
+        kernel.run_round(ring_id, now=self.engine.now)
+        self.metrics.counter("harness.rounds").increment()
+        # Repair ops (or work queued at other members) trigger a follow-up
+        # round — control of a fresh token passes along the ring.
+        if any(
+            n not in kernel.failed and not kernel.entities[n].mq.is_empty
+            for n in ring.members
+        ):
+            self._schedule_round(ring_id)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> HarnessResult:
+        """Drive the engine until quiescence (or ``until``) and summarise."""
+        self.engine.run(until=until)
+        # A crash landing after the last workload event can leave repair work
+        # queued with no future event; sweep until genuinely quiescent.
+        while self.engine.pending() == 0 and self._kick_pending_rings():
+            self.engine.run(until=until)
+        counters = {name: c.value for name, c in sorted(self.metrics.counters.items())}
+        return HarnessResult(
+            sim_time=self.engine.now,
+            dispatched_events=self.engine.dispatched_events,
+            converged=self.converged(),
+            ring_agreement=self.ring_agreement(verify_rings=50),
+            membership=len(self.global_membership()),
+            counters=counters,
+        )
+
+    def _kick_pending_rings(self) -> bool:
+        kicked = False
+        for ring_id in self.kernel.pending_rings():
+            self._schedule_round(ring_id)
+            kicked = True
+        return kicked
+
+    def converged(self) -> bool:
+        """No operational entity has queued work and no events are pending."""
+        return self.engine.pending() == 0 and not self.kernel.pending_rings()
+
+    def run_record(
+        self, name: str, extra_values: Optional[Mapping[str, float]] = None, **params: object
+    ) -> RunRecord:
+        """Package the run's metrics as a :class:`repro.sim.stats.RunRecord`.
+
+        ``extra_values`` lets callers fold in their own measurements (wall
+        time, verdicts) so the record is complete at construction — it is
+        frozen and must not be mutated afterwards.
+        """
+        values = {
+            "sim_time": self.engine.now,
+            "events": float(self.engine.dispatched_events),
+            "membership": float(len(self.global_membership())),
+        }
+        if extra_values:
+            values.update({k: float(v) for k, v in dict(extra_values).items()})
+        return RunRecord.from_registry(
+            name,
+            self.metrics,
+            params=dict(params, seed=self.config.seed, loss=self.config.loss,
+                        proxies=self.config.num_proxies),
+            values=values,
+        )

@@ -84,7 +84,12 @@ class MobilityModel:
     mean_session:
         Mean total time a host stays in the group before leaving voluntarily.
     streams:
-        Random streams; this model uses the ``"mobility"`` stream.
+        Random streams; this model uses the ``"mobility"`` stream by default.
+    stream_name:
+        Name of the stream this model draws from.  Scenarios that run several
+        mobility processes (or mobility next to other consumers of the
+        ``"mobility"`` name) give each model its own stream so one process's
+        draws can never shift another's.
     """
 
     def __init__(
@@ -94,6 +99,7 @@ class MobilityModel:
         neighbor_map: Optional[Mapping[str, Sequence[str]]] = None,
         mean_residency: float = 200.0,
         mean_session: float = 2000.0,
+        stream_name: str = "mobility",
     ) -> None:
         if not ap_ids:
             raise ValueError("mobility model needs at least one access proxy")
@@ -103,7 +109,7 @@ class MobilityModel:
         self.neighbor_map = {k: list(v) for k, v in (neighbor_map or {}).items()}
         self.mean_residency = mean_residency
         self.mean_session = mean_session
-        self._rng = streams.stream("mobility")
+        self._rng = streams.stream(stream_name)
 
     def _pick_initial_ap(self) -> str:
         return self.ap_ids[int(self._rng.integers(len(self.ap_ids)))]

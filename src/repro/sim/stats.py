@@ -193,3 +193,48 @@ class MetricRegistry:
         """Add raw counter values (used when aggregating Monte-Carlo trials)."""
         for name, value in other.items():
             self.counter(name).increment(int(value))
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """Flat, serialisable summary of one simulation run.
+
+    The scenario-matrix runner emits one record per cell; the table renderers
+    in :mod:`repro.analysis.tables` and the benchmark harness consume them
+    without needing the live :class:`MetricRegistry` objects.
+    """
+
+    name: str
+    params: Dict[str, object] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    values: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_registry(
+        cls,
+        name: str,
+        registry: "MetricRegistry",
+        params: Mapping[str, object] = (),
+        values: Mapping[str, float] = (),
+    ) -> "RunRecord":
+        return cls(
+            name=name,
+            params=dict(params),
+            counters={n: c.value for n, c in sorted(registry.counters.items())},
+            values={k: float(v) for k, v in dict(values).items()},
+        )
+
+    def counter(self, name: str, default: int = 0) -> int:
+        return self.counters.get(name, default)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        return self.values.get(name, default)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-ready dictionary (stable key order)."""
+        return {
+            "name": self.name,
+            "params": dict(sorted(self.params.items())),
+            "values": dict(sorted(self.values.items())),
+            "counters": dict(sorted(self.counters.items())),
+        }

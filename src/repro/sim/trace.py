@@ -119,6 +119,25 @@ class TraceRecorder:
         self._events.clear()
         self._dropped = 0
 
+    def canonical_lines(self) -> List[str]:
+        """Byte-stable one-line-per-event rendering for golden-trace tests.
+
+        Times are fixed to six decimals and details are key-sorted (they
+        already are, at record time), so two runs of the same seeded scenario
+        produce identical output independent of platform or repr details.
+        """
+        lines = []
+        for event in self._events:
+            details = ",".join(f"{k}={v}" for k, v in event.details)
+            lines.append(
+                f"{event.time:.6f}|{event.category}|{event.actor}|{event.description}|{details}"
+            )
+        return lines
+
+    def canonical_dump(self) -> str:
+        """The canonical lines joined with newlines (trailing newline included)."""
+        return "\n".join(self.canonical_lines()) + "\n"
+
     def format(self, limit: Optional[int] = None) -> str:
         """Multi-line rendering of (up to ``limit``) records."""
         events = self._events if limit is None else self._events[:limit]

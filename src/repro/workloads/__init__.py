@@ -7,14 +7,34 @@
   comparison.
 * :mod:`repro.workloads.scenarios` — packaged end-to-end scenarios combining
   the above (used by the examples and integration tests).
+* :mod:`repro.workloads.matrix` — the {scenario} × {scale} × {loss} sweep
+  over the event-driven harness (:mod:`repro.sim.harness`).
 """
 
 from repro.workloads.churn import ChurnEvent, ChurnKind, ChurnWorkload
 from repro.workloads.handoffs import HandoffStorm, HandoffStormEvent
+from repro.workloads.matrix import (
+    LOSS_RATES,
+    SCENARIOS,
+    SIZES,
+    CellResult,
+    MatrixCell,
+    ScenarioMatrix,
+    run_matrix_cell,
+    shape_for_proxies,
+)
 from repro.workloads.queries import QueryWorkload, QueryRequest
 from repro.workloads.scenarios import ScenarioResult, run_conferencing_scenario, run_churn_scenario
 
 __all__ = [
+    "LOSS_RATES",
+    "SCENARIOS",
+    "SIZES",
+    "CellResult",
+    "MatrixCell",
+    "ScenarioMatrix",
+    "run_matrix_cell",
+    "shape_for_proxies",
     "ChurnEvent",
     "ChurnKind",
     "ChurnWorkload",

@@ -1,0 +1,349 @@
+"""Scenario-matrix runner: {scenario} × {scale} × {loss} over the harness.
+
+Sweeps the event-driven :class:`repro.sim.harness.ScenarioHarness` over
+
+* **scenarios** — ``churn`` (Poisson join/leave/failure),
+  ``handoff_storm`` (a mobility burst over an attached population),
+  ``partition_merge`` (transient disconnections splitting a ring, then
+  healing) and ``mobility_trace`` (a full attach/handoff/detach population
+  trace);
+* **scales** — 1 000 / 10 000 / 100 000 access proxies (the paper's regular
+  hierarchies at r=10, h=3/4/5; any ``r**h`` with 2 ≤ r ≤ 16 works);
+* **loss rates** — 0 / 1 / 5 % per-link message loss.
+
+Every cell is fully seeded through :class:`repro.sim.rng.RandomStreams`, so
+cells are independently reproducible, and emits one
+:class:`repro.sim.stats.RunRecord` that :func:`repro.analysis.tables.render_matrix`
+renders and ``benchmarks/run_bench.py --matrix`` archives in
+``BENCH_matrix.json``.
+
+CLI::
+
+    PYTHONPATH=src python -m repro.workloads.matrix --sizes 1000 --events 24
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.faults import FaultPlan
+from repro.sim.harness import HarnessConfig, ScenarioHarness
+from repro.sim.mobility import MobilityModel
+from repro.sim.stats import RunRecord
+from repro.workloads.churn import ChurnKind, ChurnWorkload
+from repro.workloads.handoffs import HandoffStorm
+
+SCENARIOS: Tuple[str, ...] = ("churn", "handoff_storm", "partition_merge", "mobility_trace")
+SIZES: Tuple[int, ...] = (1_000, 10_000, 100_000)
+LOSS_RATES: Tuple[float, ...] = (0.0, 0.01, 0.05)
+
+
+def shape_for_proxies(num_proxies: int) -> Tuple[int, int]:
+    """``(ring_size, height)`` of the regular hierarchy with ``num_proxies`` APs.
+
+    Prefers the shallowest hierarchy whose ring size stays within the paper's
+    practical range (2–16): 1 000 → (10, 3), 10 000 → (10, 4),
+    100 000 → (10, 5); small test sizes like 16 → (4, 2) also resolve.
+    """
+    for height in range(2, 7):
+        base = round(num_proxies ** (1.0 / height))
+        for ring_size in (base - 1, base, base + 1):
+            if 2 <= ring_size <= 16 and ring_size**height == num_proxies:
+                return ring_size, height
+    raise ValueError(
+        f"no regular hierarchy shape with 2 <= r <= 16 yields {num_proxies} proxies"
+    )
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One cell of the scenario matrix."""
+
+    scenario: str
+    num_proxies: int
+    loss: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scenario not in SCENARIOS:
+            raise ValueError(f"unknown scenario {self.scenario!r} (have {SCENARIOS})")
+        shape_for_proxies(self.num_proxies)  # validates early
+
+    @property
+    def label(self) -> str:
+        return f"{self.scenario}/n={self.num_proxies}/loss={self.loss:g}/seed={self.seed}"
+
+
+@dataclass
+class CellResult:
+    """Outcome of one matrix cell."""
+
+    cell: MatrixCell
+    record: RunRecord
+    wall_seconds: float
+    workload_events: int
+    dispatched_events: int
+    converged: bool
+    ring_agreement: bool
+    membership: int
+
+    @property
+    def events_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.dispatched_events / self.wall_seconds
+
+
+def _build_harness(cell: MatrixCell, trace_enabled: bool = False) -> ScenarioHarness:
+    ring_size, height = shape_for_proxies(cell.num_proxies)
+    return ScenarioHarness(
+        HarnessConfig(
+            ring_size=ring_size,
+            height=height,
+            seed=cell.seed,
+            loss=cell.loss,
+            trace_enabled=trace_enabled,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# per-scenario workload wiring
+# ----------------------------------------------------------------------
+
+
+def _schedule_churn(harness: ScenarioHarness, cell: MatrixCell, events: int) -> int:
+    workload = ChurnWorkload(
+        ap_ids=harness.access_proxies(),
+        join_rate=1.0,
+        leave_rate=0.02,
+        failure_rate=0.01,
+        horizon=max(4.0 * events, 8.0),
+        seed=cell.seed,
+    )
+    scheduled = 0
+    for event in workload.generate():
+        if scheduled >= events:
+            break
+        if event.kind is ChurnKind.JOIN:
+            harness.schedule_join(event.time, event.ap, guid=event.member)
+        elif event.kind is ChurnKind.LEAVE:
+            harness.schedule_leave(event.time, event.member)
+        else:
+            harness.schedule_failure(event.time, event.member)
+        scheduled += 1
+    return scheduled
+
+
+def _schedule_handoff_storm(harness: ScenarioHarness, cell: MatrixCell, events: int) -> int:
+    aps = harness.access_proxies()
+    population = min(max(4, events // 2), len(aps), 64)
+    attachment = {f"hs-{i:04d}": aps[i % len(aps)] for i in range(population)}
+    for index, (member, ap) in enumerate(attachment.items()):
+        harness.schedule_join(0.5 * index, ap, guid=member)
+    storm_start = 0.5 * population + 25.0
+    storm = HandoffStorm(
+        attachment=attachment,
+        neighbor_map=harness.ring_neighbor_map(),
+        handoffs=events,
+        locality=0.8,
+        duration=max(2.0 * events, 10.0),
+        seed=cell.seed,
+    )
+    generated = storm.generate()
+    for event in generated:
+        harness.schedule_handoff(storm_start + event.time, event.member, event.to_ap)
+    return population + len(generated)
+
+
+def _schedule_partition_merge(
+    harness: ScenarioHarness, cell: MatrixCell, events: int
+) -> Tuple[int, List[int]]:
+    """Split one bottom ring with ≥2 transient disconnections, then heal.
+
+    Returns the scheduled event count and a list the partition counts are
+    recorded into at the split and post-heal instants.
+    """
+    aps = harness.access_proxies()
+    joins = min(max(4, events), len(aps), 48)
+    for index in range(joins):
+        harness.schedule_join(0.5 * index, aps[index % len(aps)], guid=f"pm-{index:04d}")
+    victim_ring = harness.hierarchy.bottom_rings()[0]
+    # Two *non-adjacent* members: a ring with two faults splits into separate
+    # arcs (paper §5.2), which is what makes the partition count exceed one.
+    # Rings smaller than 4 cannot split that way (any two members are
+    # adjacent), so those shapes get a single disconnection — still a
+    # disconnect/heal cycle, just without a guaranteed split.
+    members = victim_ring.members
+    if len(members) >= 4:
+        victims = [members[0].value, members[2].value]
+    else:
+        victims = [members[0].value]
+    split_at = 0.5 * joins + 40.0
+    downtime = 120.0
+    plan = FaultPlan()
+    for victim in victims:
+        plan.disconnect(victim, time=split_at, duration=downtime)
+    harness.schedule_fault_plan(plan)
+    # Joins captured elsewhere while the ring is split keep the rest of the
+    # hierarchy moving; they must still converge globally after the heal.
+    spare_aps = [ap for ap in aps if ap not in victims]
+    for index in range(min(8, len(spare_aps))):
+        harness.schedule_join(
+            split_at + 10.0 + index, spare_aps[index], guid=f"pm-mid-{index:02d}"
+        )
+    partition_counts: List[int] = []
+    harness.engine.schedule_at(
+        split_at + downtime / 2.0,
+        lambda _e: partition_counts.append(harness.partition_report().count),
+        label="assess:split",
+    )
+    harness.engine.schedule_at(
+        split_at + downtime + 60.0,
+        lambda _e: partition_counts.append(harness.partition_report().count),
+        label="assess:healed",
+    )
+    return joins + min(8, len(spare_aps)), partition_counts
+
+
+def _schedule_mobility_trace(harness: ScenarioHarness, cell: MatrixCell, events: int) -> int:
+    model = MobilityModel(
+        ap_ids=harness.access_proxies(),
+        streams=harness.streams,
+        neighbor_map=harness.ring_neighbor_map(),
+        mean_residency=30.0,
+        mean_session=120.0,
+        stream_name="mobility.matrix",
+    )
+    hosts = max(3, events // 6)
+    trace = model.generate_population(
+        num_hosts=hosts, arrival_rate=0.25, horizon=max(40.0 * hosts, 200.0)
+    )
+    return harness.schedule_mobility_trace(trace)
+
+
+# ----------------------------------------------------------------------
+# cell execution
+# ----------------------------------------------------------------------
+
+
+def run_matrix_cell(
+    cell: MatrixCell, events: int = 24, trace_enabled: bool = False
+) -> CellResult:
+    """Build a harness for ``cell``, schedule its workload and run it dry."""
+    if events < 1:
+        raise ValueError(f"events must be >= 1, got {events}")
+    start = time.perf_counter()
+    harness = _build_harness(cell, trace_enabled=trace_enabled)
+    partition_counts: List[int] = []
+    if cell.scenario == "churn":
+        scheduled = _schedule_churn(harness, cell, events)
+    elif cell.scenario == "handoff_storm":
+        scheduled = _schedule_handoff_storm(harness, cell, events)
+    elif cell.scenario == "partition_merge":
+        scheduled, partition_counts = _schedule_partition_merge(harness, cell, events)
+    else:
+        scheduled = _schedule_mobility_trace(harness, cell, events)
+    outcome = harness.run()
+    wall = time.perf_counter() - start
+
+    extra_values: Dict[str, float] = {
+        "wall_seconds": wall,
+        "workload_events": float(scheduled),
+        "events_per_second": (outcome.dispatched_events / wall) if wall > 0 else 0.0,
+        "converged": 1.0 if outcome.converged else 0.0,
+        "ring_agreement": 1.0 if outcome.ring_agreement else 0.0,
+    }
+    if partition_counts:
+        extra_values["partitions_split"] = float(partition_counts[0])
+        extra_values["partitions_healed"] = float(partition_counts[-1])
+    record = harness.run_record(
+        f"matrix.{cell.scenario}",
+        extra_values=extra_values,
+        scenario=cell.scenario,
+    )
+    return CellResult(
+        cell=cell,
+        record=record,
+        wall_seconds=wall,
+        workload_events=scheduled,
+        dispatched_events=outcome.dispatched_events,
+        converged=outcome.converged,
+        ring_agreement=outcome.ring_agreement,
+        membership=outcome.membership,
+    )
+
+
+@dataclass
+class ScenarioMatrix:
+    """The full sweep; every future scenario PR composes against this."""
+
+    sizes: Sequence[int] = (1_000,)
+    losses: Sequence[float] = LOSS_RATES
+    scenarios: Sequence[str] = SCENARIOS
+    seed: int = 0
+    events_per_cell: int = 24
+
+    def cells(self) -> List[MatrixCell]:
+        return [
+            MatrixCell(scenario=scenario, num_proxies=size, loss=loss, seed=self.seed)
+            for scenario in self.scenarios
+            for size in self.sizes
+            for loss in self.losses
+        ]
+
+    def run(self, progress: bool = False) -> List[CellResult]:
+        results = []
+        for cell in self.cells():
+            result = run_matrix_cell(cell, events=self.events_per_cell)
+            if progress:
+                status = "ok" if (result.converged and result.ring_agreement) else "INCOMPLETE"
+                print(
+                    f"{cell.label:<48} {result.wall_seconds:7.2f}s "
+                    f"{result.dispatched_events:>8} events  {status}",
+                    flush=True,
+                )
+            results.append(result)
+        return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Run the RGB scenario matrix")
+    parser.add_argument("--sizes", type=int, nargs="+", default=[1_000])
+    parser.add_argument("--losses", type=float, nargs="+", default=list(LOSS_RATES))
+    parser.add_argument("--scenarios", nargs="+", default=list(SCENARIOS), choices=SCENARIOS)
+    parser.add_argument("--events", type=int, default=24, help="workload events per cell")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=str, default=None, help="write records as JSON")
+    args = parser.parse_args(argv)
+
+    matrix = ScenarioMatrix(
+        sizes=args.sizes,
+        losses=args.losses,
+        scenarios=args.scenarios,
+        seed=args.seed,
+        events_per_cell=args.events,
+    )
+    results = matrix.run(progress=True)
+
+    from repro.analysis.tables import render_matrix
+
+    print()
+    print(render_matrix([r.record for r in results]))
+    if args.out:
+        payload = [r.record.to_json() for r in results]
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    failures = [r for r in results if not (r.converged and r.ring_agreement)]
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

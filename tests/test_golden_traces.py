@@ -1,0 +1,138 @@
+"""Golden-trace conformance: canonical event traces of seeded scenarios.
+
+Three small seeded scenarios run through the event-driven harness with
+deterministic per-link latency (``latency_std=0``); their
+:meth:`repro.sim.trace.TraceRecorder.canonical_dump` output must be
+
+* **byte-stable across runs** — two fresh executions in the same process
+  produce identical dumps, and
+* **byte-identical to the golden files** committed under ``tests/golden/``.
+
+Any change to event ordering, round scheduling, notification routing or the
+trace format shows up as a diff against the goldens, which is exactly the
+conformance signal future protocol PRs need.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/test_golden_traces.py --regen
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.sim.harness import HarnessConfig, ScenarioHarness
+from repro.workloads.handoffs import HandoffStorm
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+
+def _harness(**overrides) -> ScenarioHarness:
+    defaults = dict(
+        latency_std=0.0,  # deterministic link delays: no RNG in the transport
+        loss=0.0,
+        trace_enabled=True,
+    )
+    defaults.update(overrides)
+    return ScenarioHarness(HarnessConfig(**defaults))
+
+
+def scenario_join_leave_handoff() -> str:
+    """Scripted membership traffic over a 9-proxy hierarchy."""
+    harness = _harness(ring_size=3, height=2, seed=101)
+    aps = harness.access_proxies()
+    harness.schedule_join(1.0, aps[0], guid="alpha")
+    harness.schedule_join(2.0, aps[4], guid="beta")
+    harness.schedule_join(3.0, aps[8], guid="gamma")
+    harness.schedule_handoff(40.0, "alpha", aps[1])
+    harness.schedule_leave(60.0, "beta")
+    harness.run()
+    return harness.trace.canonical_dump()
+
+
+def scenario_crash_repair() -> str:
+    """An access-proxy crash discovered and repaired mid-scenario."""
+    harness = _harness(ring_size=4, height=2, seed=202)
+    aps = harness.access_proxies()
+    for index in range(4):
+        harness.schedule_join(1.0 + index, aps[index], guid=f"m-{index}")
+    harness.schedule_crash(30.0, aps[0])
+    harness.schedule_join(60.0, aps[5], guid="late")
+    harness.run()
+    return harness.trace.canonical_dump()
+
+
+def scenario_handoff_storm() -> str:
+    """A seeded handoff storm over an attached population."""
+    harness = _harness(ring_size=4, height=2, seed=303)
+    aps = harness.access_proxies()
+    attachment = {f"hs-{i}": aps[i] for i in range(6)}
+    for index, (member, ap) in enumerate(attachment.items()):
+        harness.schedule_join(1.0 + index, ap, guid=member)
+    storm = HandoffStorm(
+        attachment=attachment,
+        neighbor_map=harness.ring_neighbor_map(),
+        handoffs=10,
+        locality=0.8,
+        duration=40.0,
+        seed=303,
+    )
+    for event in storm.generate():
+        harness.schedule_handoff(30.0 + event.time, event.member, event.to_ap)
+    harness.run()
+    return harness.trace.canonical_dump()
+
+
+SCENARIOS = {
+    "join_leave_handoff": scenario_join_leave_handoff,
+    "crash_repair": scenario_crash_repair,
+    "handoff_storm": scenario_handoff_storm,
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_trace_is_byte_stable_across_runs(name):
+    first = SCENARIOS[name]()
+    second = SCENARIOS[name]()
+    assert first == second
+    assert first.endswith("\n") and first.count("\n") > 10
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_trace_matches_golden_file(name):
+    golden_path = GOLDEN_DIR / f"{name}.trace"
+    assert golden_path.exists(), (
+        f"missing golden file {golden_path}; regenerate with "
+        "`PYTHONPATH=src python tests/test_golden_traces.py --regen`"
+    )
+    assert SCENARIOS[name]() == golden_path.read_text()
+
+
+def test_canonical_dump_format():
+    dump = scenario_join_leave_handoff()
+    line = dump.splitlines()[0]
+    time_field, category, actor, description, details = line.split("|")
+    float(time_field)  # fixed six-decimal timestamp
+    assert category and actor and description
+    # Six decimals exactly: the format may not drift.
+    assert len(time_field.split(".")[1]) == 6
+    assert details == "" or "=" in details
+
+
+def _regenerate() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, scenario in sorted(SCENARIOS.items()):
+        path = GOLDEN_DIR / f"{name}.trace"
+        path.write_text(scenario())
+        print(f"wrote {path} ({path.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)
