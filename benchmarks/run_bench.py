@@ -11,10 +11,17 @@ With ``--matrix``, sweeps the event-driven scenario matrix instead
 (:mod:`repro.workloads.matrix`) and records per-cell throughput in
 ``BENCH_matrix.json``.
 
+With ``--ablation``, replays the same seeded workloads through every
+membership protocol behind the :class:`repro.baselines.driver` seam (RGB,
+flat ring, gossip, tree) and archives the head-to-head per-change costs —
+hops, on-the-wire messages, convergence rounds, wall time — in
+``BENCH_ablation.json``, alongside the paper's closed-form HCN values.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--joins N] [--out PATH]
     PYTHONPATH=src python benchmarks/run_bench.py --matrix [--matrix-sizes 1000 10000]
+    PYTHONPATH=src python benchmarks/run_bench.py --ablation [--ablation-sizes 1000 10000]
 """
 
 from __future__ import annotations
@@ -97,6 +104,60 @@ def run_matrix(sizes, events, out_path: Path) -> None:
     print(f"wrote {out_path}")
 
 
+def run_ablation(sizes, losses, scenarios, events, out_path: Path) -> None:
+    """Drive every protocol through the same workloads; archive the costs."""
+    from repro.analysis.scalability import hcn_ring, hcn_tree
+    from repro.analysis.tables import render_ablation
+    from repro.baselines.driver import (
+        PROTOCOL_NAMES,
+        ring_shape_for_proxies,
+        tree_shape_for_leaves,
+    )
+    from repro.workloads.matrix import AblationSweep
+
+    sweep = AblationSweep(
+        sizes=tuple(sizes), losses=tuple(losses), scenarios=tuple(scenarios),
+        events_per_cell=events,
+    )
+    results = sweep.run(progress=True)
+    print()
+    print(render_ablation([r.record for r in results]))
+
+    closed_form = []
+    for n in sizes:
+        r, h = ring_shape_for_proxies(n)
+        branching, tree_h = tree_shape_for_leaves(n)
+        closed_form.append(
+            {
+                "n": n,
+                "hcn_ring": hcn_ring(h, r),
+                "hcn_tree": hcn_tree(tree_h, branching),
+                "hcn_flat": n,
+            }
+        )
+    payload = {
+        "benchmark": "protocol ablation (same workload through every membership driver)",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "protocols": list(PROTOCOL_NAMES),
+        "sizes": list(sizes),
+        "loss_rates": list(losses),
+        "scenarios": list(scenarios),
+        "events_per_cell": events,
+        "closed_form_hcn": closed_form,
+        "cells": [
+            dict(
+                r.record.to_json(),
+                wall_seconds=round(r.wall_seconds, 4),
+                converged=r.converged,
+            )
+            for r in results
+        ],
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--joins", type=int, default=32, help="joins per measured burst")
@@ -127,12 +188,56 @@ def main(argv=None) -> int:
         default=Path(__file__).resolve().parent / "BENCH_matrix.json",
         help="matrix output JSON path",
     )
+    parser.add_argument(
+        "--ablation",
+        action="store_true",
+        help="run the head-to-head protocol ablation instead of the kernel benchmark",
+    )
+    parser.add_argument(
+        "--ablation-sizes",
+        type=int,
+        nargs="+",
+        default=[1_000, 10_000],
+        help="proxy counts for the ablation sweep",
+    )
+    parser.add_argument(
+        "--ablation-losses",
+        type=float,
+        nargs="+",
+        default=[0.0, 0.01],
+        help="per-link loss rates for the ablation sweep",
+    )
+    parser.add_argument(
+        "--ablation-scenarios",
+        nargs="+",
+        default=["churn"],
+        help="scenarios for the ablation sweep",
+    )
+    parser.add_argument(
+        "--ablation-events", type=int, default=24, help="workload events per ablation cell"
+    )
+    parser.add_argument(
+        "--ablation-out",
+        type=Path,
+        default=Path(__file__).resolve().parent / "BENCH_ablation.json",
+        help="ablation output JSON path",
+    )
     args = parser.parse_args(argv)
     if args.joins < 1:
         parser.error(f"--joins must be >= 1, got {args.joins}")
 
     if args.matrix:
         run_matrix(args.matrix_sizes, args.matrix_events, args.matrix_out)
+        return 0
+
+    if args.ablation:
+        run_ablation(
+            args.ablation_sizes,
+            args.ablation_losses,
+            args.ablation_scenarios,
+            args.ablation_events,
+            args.ablation_out,
+        )
         return 0
 
     results = []

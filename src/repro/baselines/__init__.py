@@ -11,12 +11,28 @@
   comparator that motivates the hierarchy.
 * :mod:`repro.baselines.gossip` — a SWIM-style gossip membership protocol,
   the modern comparator used in the ablation benchmarks.
+* :mod:`repro.baselines.driver` — the :class:`MembershipProtocol` driver seam
+  that puts the RGB kernel and all three baselines behind one propagate /
+  fail / converge-check / cost-report interface for the ablation matrix.
 """
 
 from repro.baselines.tree_hierarchy import TreeHierarchy, TreeNode
 from repro.baselines.tree_membership import TreeMembershipProtocol, TreePropagationReport
 from repro.baselines.flat_ring import FlatRingMembership, FlatRingReport
 from repro.baselines.gossip import GossipMembership, GossipReport
+from repro.baselines.driver import (
+    PROTOCOL_NAMES,
+    BaseProtocolDriver,
+    ChangeReport,
+    CostTotals,
+    FlatRingProtocol,
+    GossipProtocol,
+    RGBRingProtocol,
+    TreeProtocol,
+    build_protocol,
+    ring_shape_for_proxies,
+    tree_shape_for_leaves,
+)
 
 __all__ = [
     "TreeHierarchy",
@@ -27,4 +43,15 @@ __all__ = [
     "FlatRingReport",
     "GossipMembership",
     "GossipReport",
+    "PROTOCOL_NAMES",
+    "BaseProtocolDriver",
+    "ChangeReport",
+    "CostTotals",
+    "FlatRingProtocol",
+    "GossipProtocol",
+    "RGBRingProtocol",
+    "TreeProtocol",
+    "build_protocol",
+    "ring_shape_for_proxies",
+    "tree_shape_for_leaves",
 ]

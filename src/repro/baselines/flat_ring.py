@@ -8,12 +8,31 @@ access proxies so the ablation benchmark can show the crossover: for small
 ``n`` a flat ring is cheaper (no inter-ring notifications), but its per-change
 hop count grows linearly with ``n`` while RGB's grows with the much smaller
 ``(r+1)·tn − 1``.
+
+Cost model (aligned with the kernel's token-retransmission accounting,
+paper §5.2):
+
+* a **hop** is one successful token transmission from the current holder to
+  the next operational proxy — including the closing transmission that
+  returns the token to the origin once it has left it;
+* a transmission towards a **failed** proxy is never delivered: the holder
+  retries ``token_retry_limit`` times, declares the proxy faulty and excludes
+  it.  Those wasted attempts (the initial send plus every retry,
+  ``token_retry_limit + 1`` in total) are charged to ``retransmissions``, not
+  to the hop count, and the skip transmission to the successor *is* a hop —
+  the seed implementation charged a phantom hop to the dead proxy instead and
+  never charged the skip, and it dropped the closing hop whenever repairs
+  left ``reached <= 1``;
+* with per-link ``loss``, a lost token transmission to a live proxy is
+  re-sent until it lands; every lost attempt counts one retransmission.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
+
+from repro.sim.rng import RandomStreams
 
 
 @dataclass
@@ -23,19 +42,53 @@ class FlatRingReport:
     origin: str
     hops: int
     members_reached: int
+    retransmissions: int = 0
     repaired: List[str] = field(default_factory=list)
+
+    @property
+    def messages(self) -> int:
+        """Total transmissions on the wire: delivered hops + wasted sends."""
+        return self.hops + self.retransmissions
 
 
 class FlatRingMembership:
-    """All access proxies in one token ring; one full revolution per change."""
+    """All access proxies in one token ring; one full revolution per change.
 
-    def __init__(self, proxies: Sequence[str]) -> None:
+    Parameters
+    ----------
+    proxies:
+        The access proxies, in ring order.
+    token_retry_limit:
+        Retries before a silent proxy is declared faulty and excluded
+        (mirrors :class:`repro.core.config.ProtocolConfig.token_retry_limit`).
+    loss:
+        Per-transmission loss probability towards *live* proxies; lost
+        transmissions are retried (and counted as retransmissions) until they
+        land, masking the loss exactly like the kernel's reliable dispatch.
+    seed:
+        Seed for the ``"flat-ring.loss"`` random stream.
+    """
+
+    def __init__(
+        self,
+        proxies: Sequence[str],
+        token_retry_limit: int = 2,
+        loss: float = 0.0,
+        seed: int = 0,
+    ) -> None:
         if not proxies:
             raise ValueError("flat ring needs at least one access proxy")
         if len(set(proxies)) != len(proxies):
             raise ValueError("duplicate access proxies in flat ring")
+        if token_retry_limit < 0:
+            raise ValueError(f"token_retry_limit must be >= 0, got {token_retry_limit}")
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1), got {loss}")
         self.ring: List[str] = list(proxies)
         self.views: Dict[str, Set[str]] = {p: set() for p in proxies}
+        self.token_retry_limit = token_retry_limit
+        self.loss = loss
+        self._rng = RandomStreams(seed).stream("flat-ring.loss")
         self._failed: Set[str] = set()
         self.reports: List[FlatRingReport] = []
         self.total_retransmissions = 0
@@ -56,6 +109,15 @@ class FlatRingMembership:
     # propagation
     # ------------------------------------------------------------------
 
+    def _lossy_delivery_retries(self) -> int:
+        """Extra attempts a transmission to a live proxy needed before landing."""
+        if self.loss <= 0.0:
+            return 0
+        retries = 0
+        while float(self._rng.random()) < self.loss:
+            retries += 1
+        return retries
+
     def propagate_change(self, origin: str, member: str, join: bool = True) -> FlatRingReport:
         """Circulate the change once around the ring starting at ``origin``."""
         if origin not in self.views:
@@ -65,29 +127,54 @@ class FlatRingMembership:
         start = self.ring.index(origin)
         order = self.ring[start:] + self.ring[:start]
         hops = 0
+        retransmissions = 0
         reached = 0
         repaired: List[str] = []
-        for position, proxy in enumerate(order):
-            if position > 0:
-                hops += 1
+        # Explicit token walk: ``holder`` is wherever the token currently sits;
+        # it transmits to each subsequent ring position in order, skipping
+        # (and excluding) proxies that never acknowledge.
+        holder = origin
+        for proxy in order:
+            if proxy == origin:
+                if join:
+                    self.views[proxy].add(member)
+                else:
+                    self.views[proxy].discard(member)
+                reached += 1
+                continue
             if proxy in self._failed:
-                # Token retransmission detects the fault; the node is excluded.
-                self.total_retransmissions += 1
+                # The holder's send and its token_retry_limit retries are all
+                # wasted transmissions; the token stays with the holder, which
+                # then skips to the successor (charged as that hop).
+                retransmissions += self.token_retry_limit + 1
                 repaired.append(proxy)
                 continue
+            retransmissions += self._lossy_delivery_retries()
+            hops += 1
             if join:
                 self.views[proxy].add(member)
             else:
                 self.views[proxy].discard(member)
             reached += 1
-        # Closing hop back to the origin completes the revolution.
-        if reached > 1:
+            holder = proxy
+        # Closing hop: once the token has left the origin it must be handed
+        # back to complete the revolution, regardless of how many proxies were
+        # repaired away along the arc.
+        if holder != origin:
+            retransmissions += self._lossy_delivery_retries()
             hops += 1
         for proxy in repaired:
             self.ring.remove(proxy)
             del self.views[proxy]
             self._failed.discard(proxy)
-        report = FlatRingReport(origin=origin, hops=hops, members_reached=reached, repaired=repaired)
+        self.total_retransmissions += retransmissions
+        report = FlatRingReport(
+            origin=origin,
+            hops=hops,
+            members_reached=reached,
+            retransmissions=retransmissions,
+            repaired=repaired,
+        )
         self.reports.append(report)
         return report
 

@@ -635,6 +635,14 @@ class ScenarioHarness:
     # execution
     # ------------------------------------------------------------------
 
+    def counter_values(self) -> Dict[str, int]:
+        """Snapshot of every metric counter (name → value).
+
+        The protocol-driver seam (:mod:`repro.baselines.driver`) measures
+        per-change costs as deltas between two snapshots.
+        """
+        return {name: c.value for name, c in sorted(self.metrics.counters.items())}
+
     def run(self, until: Optional[float] = None) -> HarnessResult:
         """Drive the engine until quiescence (or ``until``) and summarise."""
         self.engine.run(until=until)
@@ -642,7 +650,7 @@ class ScenarioHarness:
         # queued with no future event; sweep until genuinely quiescent.
         while self.engine.pending() == 0 and self._kick_pending_rings():
             self.engine.run(until=until)
-        counters = {name: c.value for name, c in sorted(self.metrics.counters.items())}
+        counters = self.counter_values()
         return HarnessResult(
             sim_time=self.engine.now,
             dispatched_events=self.engine.dispatched_events,

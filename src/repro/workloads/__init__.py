@@ -7,19 +7,26 @@
   comparison.
 * :mod:`repro.workloads.scenarios` — packaged end-to-end scenarios combining
   the above (used by the examples and integration tests).
-* :mod:`repro.workloads.matrix` — the {scenario} × {scale} × {loss} sweep
-  over the event-driven harness (:mod:`repro.sim.harness`).
+* :mod:`repro.workloads.matrix` — the {protocol} × {scenario} × {scale} ×
+  {loss} sweep over the event-driven harness (:mod:`repro.sim.harness`) and
+  the protocol-driver ablation replay (:mod:`repro.baselines.driver`).
 """
 
 from repro.workloads.churn import ChurnEvent, ChurnKind, ChurnWorkload
 from repro.workloads.handoffs import HandoffStorm, HandoffStormEvent
 from repro.workloads.matrix import (
     LOSS_RATES,
+    PROTOCOLS,
     SCENARIOS,
     SIZES,
+    AblationSweep,
     CellResult,
     MatrixCell,
     ScenarioMatrix,
+    WorkloadOp,
+    ablation_workload,
+    replay_workload,
+    run_ablation_cell,
     run_matrix_cell,
     shape_for_proxies,
 )
@@ -28,11 +35,17 @@ from repro.workloads.scenarios import ScenarioResult, run_conferencing_scenario,
 
 __all__ = [
     "LOSS_RATES",
+    "PROTOCOLS",
     "SCENARIOS",
     "SIZES",
+    "AblationSweep",
     "CellResult",
     "MatrixCell",
     "ScenarioMatrix",
+    "WorkloadOp",
+    "ablation_workload",
+    "replay_workload",
+    "run_ablation_cell",
     "run_matrix_cell",
     "shape_for_proxies",
     "ChurnEvent",

@@ -1,4 +1,4 @@
-"""Scenario-matrix runner: {scenario} × {scale} × {loss} over the harness.
+"""Scenario-matrix runner: {protocol} × {scenario} × {scale} × {loss}.
 
 Sweeps the event-driven :class:`repro.sim.harness.ScenarioHarness` over
 
@@ -9,17 +9,27 @@ Sweeps the event-driven :class:`repro.sim.harness.ScenarioHarness` over
   trace);
 * **scales** — 1 000 / 10 000 / 100 000 access proxies (the paper's regular
   hierarchies at r=10, h=3/4/5; any ``r**h`` with 2 ≤ r ≤ 16 works);
-* **loss rates** — 0 / 1 / 5 % per-link message loss.
+* **loss rates** — 0 / 1 / 5 % per-link message loss;
+* **protocols** — ``rgb`` (the kernel through the harness) plus the
+  baselines behind the :class:`repro.baselines.driver.MembershipProtocol`
+  seam: ``flat_ring``, ``gossip`` and ``tree``.
+
+RGB cells run the full event-driven harness (batched rounds, faults and
+mobility at their simulated times); baseline cells replay the *same seeded
+workload trace* sequentially through the protocol driver, which is also what
+:func:`run_ablation_cell` does for every protocol — including RGB — when a
+head-to-head per-change cost comparison is wanted
+(``benchmarks/run_bench.py --ablation`` → ``BENCH_ablation.json``).
 
 Every cell is fully seeded through :class:`repro.sim.rng.RandomStreams`, so
 cells are independently reproducible, and emits one
 :class:`repro.sim.stats.RunRecord` that :func:`repro.analysis.tables.render_matrix`
-renders and ``benchmarks/run_bench.py --matrix`` archives in
-``BENCH_matrix.json``.
+/ :func:`repro.analysis.tables.render_ablation` render.
 
 CLI::
 
     PYTHONPATH=src python -m repro.workloads.matrix --sizes 1000 --events 24
+    PYTHONPATH=src python -m repro.workloads.matrix --protocols rgb gossip tree
 """
 
 from __future__ import annotations
@@ -31,9 +41,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.baselines.driver import (
+    PROTOCOL_NAMES,
+    BaseProtocolDriver,
+    build_protocol,
+    ring_shape_for_proxies as shape_for_proxies,
+)
 from repro.sim.faults import FaultPlan
 from repro.sim.harness import HarnessConfig, ScenarioHarness
-from repro.sim.mobility import MobilityModel
+from repro.sim.mobility import AttachmentEvent, HandoffEvent, MobilityModel
+from repro.sim.rng import RandomStreams
 from repro.sim.stats import RunRecord
 from repro.workloads.churn import ChurnKind, ChurnWorkload
 from repro.workloads.handoffs import HandoffStorm
@@ -41,23 +58,7 @@ from repro.workloads.handoffs import HandoffStorm
 SCENARIOS: Tuple[str, ...] = ("churn", "handoff_storm", "partition_merge", "mobility_trace")
 SIZES: Tuple[int, ...] = (1_000, 10_000, 100_000)
 LOSS_RATES: Tuple[float, ...] = (0.0, 0.01, 0.05)
-
-
-def shape_for_proxies(num_proxies: int) -> Tuple[int, int]:
-    """``(ring_size, height)`` of the regular hierarchy with ``num_proxies`` APs.
-
-    Prefers the shallowest hierarchy whose ring size stays within the paper's
-    practical range (2–16): 1 000 → (10, 3), 10 000 → (10, 4),
-    100 000 → (10, 5); small test sizes like 16 → (4, 2) also resolve.
-    """
-    for height in range(2, 7):
-        base = round(num_proxies ** (1.0 / height))
-        for ring_size in (base - 1, base, base + 1):
-            if 2 <= ring_size <= 16 and ring_size**height == num_proxies:
-                return ring_size, height
-    raise ValueError(
-        f"no regular hierarchy shape with 2 <= r <= 16 yields {num_proxies} proxies"
-    )
+PROTOCOLS: Tuple[str, ...] = PROTOCOL_NAMES
 
 
 @dataclass(frozen=True)
@@ -68,15 +69,21 @@ class MatrixCell:
     num_proxies: int
     loss: float
     seed: int = 0
+    protocol: str = "rgb"
 
     def __post_init__(self) -> None:
         if self.scenario not in SCENARIOS:
             raise ValueError(f"unknown scenario {self.scenario!r} (have {SCENARIOS})")
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r} (have {PROTOCOLS})")
         shape_for_proxies(self.num_proxies)  # validates early
 
     @property
     def label(self) -> str:
-        return f"{self.scenario}/n={self.num_proxies}/loss={self.loss:g}/seed={self.seed}"
+        return (
+            f"{self.protocol}/{self.scenario}/n={self.num_proxies}"
+            f"/loss={self.loss:g}/seed={self.seed}"
+        )
 
 
 @dataclass
@@ -228,6 +235,194 @@ def _schedule_mobility_trace(harness: ScenarioHarness, cell: MatrixCell, events:
 
 
 # ----------------------------------------------------------------------
+# protocol-agnostic workload extraction (the ablation path)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadOp:
+    """One protocol-neutral workload event, replayable through any driver."""
+
+    time: float
+    kind: str  # join / leave / handoff / crash
+    member: str = ""
+    site: str = ""  # join origin, handoff destination, or crashed site
+
+
+def _block_neighbor_map(sites: Sequence[str], block: int) -> Dict[str, List[str]]:
+    """Index-blocked adjacency mirroring the RGB bottom rings, so handoff
+    locality is defined identically for every protocol."""
+    out: Dict[str, List[str]] = {}
+    for start in range(0, len(sites), block):
+        chunk = list(sites[start : start + block])
+        for site in chunk:
+            out[site] = [s for s in chunk if s != site]
+    return out
+
+
+def ablation_workload(cell: MatrixCell, events: int, sites: Sequence[str]) -> List[WorkloadOp]:
+    """The cell's seeded workload as a time-ordered, protocol-neutral op list.
+
+    The generators draw by *index* into the site list, so two protocols with
+    equally sized site populations replay structurally identical traces (same
+    members, same site indices, same times) regardless of site naming.
+    """
+    ring_size, _ = shape_for_proxies(cell.num_proxies)
+    ops: List[WorkloadOp] = []
+    if cell.scenario == "churn":
+        workload = ChurnWorkload(
+            ap_ids=list(sites),
+            join_rate=1.0,
+            leave_rate=0.02,
+            failure_rate=0.01,
+            horizon=max(4.0 * events, 8.0),
+            seed=cell.seed,
+        )
+        for event in workload.generate()[:events]:
+            if event.kind is ChurnKind.JOIN:
+                ops.append(WorkloadOp(event.time, "join", event.member, event.ap))
+            else:
+                # Voluntary leave and member failure both remove the member;
+                # every protocol pays one full removal propagation.
+                ops.append(WorkloadOp(event.time, "leave", event.member))
+    elif cell.scenario == "handoff_storm":
+        population = min(max(4, events // 2), len(sites), 64)
+        attachment = {f"hs-{i:04d}": sites[i % len(sites)] for i in range(population)}
+        for index, (member, site) in enumerate(attachment.items()):
+            ops.append(WorkloadOp(0.5 * index, "join", member, site))
+        storm_start = 0.5 * population + 25.0
+        storm = HandoffStorm(
+            attachment=attachment,
+            neighbor_map=_block_neighbor_map(sites, ring_size),
+            handoffs=events,
+            locality=0.8,
+            duration=max(2.0 * events, 10.0),
+            seed=cell.seed,
+        )
+        for event in storm.generate():
+            ops.append(WorkloadOp(storm_start + event.time, "handoff", event.member, event.to_ap))
+    elif cell.scenario == "partition_merge":
+        joins = min(max(4, events), len(sites), 48)
+        for index in range(joins):
+            ops.append(WorkloadOp(0.5 * index, "join", f"pm-{index:04d}", sites[index % len(sites)]))
+        # The toys have no transient-disconnection notion, so the generic
+        # replay crashes two non-adjacent sites of the first block instead —
+        # the same victims the harness path disconnects.
+        victims = [sites[0], sites[2]] if len(sites) >= 4 else [sites[0]]
+        split_at = 0.5 * joins + 40.0
+        for victim in victims:
+            ops.append(WorkloadOp(split_at, "crash", site=victim))
+        spare = [s for s in sites if s not in victims]
+        for index in range(min(8, len(spare))):
+            ops.append(WorkloadOp(split_at + 10.0 + index, "join", f"pm-mid-{index:02d}", spare[index]))
+    elif cell.scenario == "mobility_trace":
+        model = MobilityModel(
+            ap_ids=list(sites),
+            streams=RandomStreams(cell.seed),
+            neighbor_map=_block_neighbor_map(sites, ring_size),
+            mean_residency=30.0,
+            mean_session=120.0,
+            stream_name="mobility.matrix",
+        )
+        hosts = max(3, events // 6)
+        trace = model.generate_population(
+            num_hosts=hosts, arrival_rate=0.25, horizon=max(40.0 * hosts, 200.0)
+        )
+        for event in trace.all_events():
+            if isinstance(event, AttachmentEvent):
+                kind = "join" if event.attach else "leave"
+                ops.append(WorkloadOp(event.time, kind, event.host_id, event.ap_id))
+            elif isinstance(event, HandoffEvent):
+                ops.append(WorkloadOp(event.time, "handoff", event.host_id, event.to_ap))
+    else:  # pragma: no cover - MatrixCell validates scenarios
+        raise ValueError(f"unknown scenario {cell.scenario!r}")
+    ops.sort(key=lambda op: op.time)
+    return ops
+
+
+def replay_workload(driver: BaseProtocolDriver, ops: Sequence[WorkloadOp]) -> int:
+    """Apply a neutral op list through a protocol driver, in time order."""
+    applied = 0
+    for op in ops:
+        if op.kind == "join":
+            report = driver.join(op.site, op.member)
+        elif op.kind == "leave":
+            report = driver.leave(op.member)
+        elif op.kind == "handoff":
+            report = driver.handoff(op.member, op.site)
+        elif op.kind == "crash":
+            report = driver.fail_site(op.site)
+        else:
+            raise ValueError(f"unknown workload op kind {op.kind!r}")
+        if report.applied:
+            applied += 1
+    return applied
+
+
+def run_ablation_cell(cell: MatrixCell, events: int = 24) -> CellResult:
+    """Replay the cell's workload through its protocol driver (any protocol).
+
+    Unlike the harness path, changes apply *sequentially* (each propagates to
+    quiescence before the next), so per-change hop/message/round costs are
+    well-defined and directly comparable across protocols.
+    """
+    if events < 1:
+        raise ValueError(f"events must be >= 1, got {events}")
+    build_start = time.perf_counter()
+    driver = build_protocol(cell.protocol, cell.num_proxies, loss=cell.loss, seed=cell.seed)
+    ops = ablation_workload(cell, events, driver.sites)
+    # Wall time measures the replay only: construction cost (hierarchy /
+    # tree build) would otherwise drown 24 changes at 10k proxies and the
+    # column would compare setup, not protocol cost.
+    start = time.perf_counter()
+    build_seconds = start - build_start
+    replay_workload(driver, ops)
+    agreement = driver.global_agreement()
+    wall = time.perf_counter() - start
+    totals = driver.totals
+
+    values: Dict[str, float] = dict(totals.as_values())
+    values.update(
+        {
+            "wall_seconds": wall,
+            "build_seconds": build_seconds,
+            "workload_events": float(len(ops)),
+            "converged": 1.0 if agreement else 0.0,
+            "ring_agreement": 1.0 if agreement else 0.0,
+            "membership": float(len(driver.members())),
+        }
+    )
+    record = RunRecord(
+        name=f"ablation.{cell.scenario}",
+        params={
+            "scenario": cell.scenario,
+            "protocol": cell.protocol,
+            "proxies": cell.num_proxies,
+            "loss": cell.loss,
+            "seed": cell.seed,
+        },
+        values=values,
+        counters=dict(
+            getattr(driver, "harness", None).counter_values()
+            if cell.protocol == "rgb"
+            else {}
+        ),
+    )
+    return CellResult(
+        cell=cell,
+        record=record,
+        wall_seconds=wall,
+        workload_events=len(ops),
+        dispatched_events=(
+            driver.harness.engine.dispatched_events if cell.protocol == "rgb" else totals.messages
+        ),
+        converged=agreement,
+        ring_agreement=agreement,
+        membership=len(driver.members()),
+    )
+
+
+# ----------------------------------------------------------------------
 # cell execution
 # ----------------------------------------------------------------------
 
@@ -235,7 +430,14 @@ def _schedule_mobility_trace(harness: ScenarioHarness, cell: MatrixCell, events:
 def run_matrix_cell(
     cell: MatrixCell, events: int = 24, trace_enabled: bool = False
 ) -> CellResult:
-    """Build a harness for ``cell``, schedule its workload and run it dry."""
+    """Run one matrix cell.
+
+    ``rgb`` cells drive the full event-driven harness (the original matrix
+    semantics); baseline-protocol cells replay the same seeded workload
+    through the :class:`repro.baselines.driver.MembershipProtocol` seam.
+    """
+    if cell.protocol != "rgb":
+        return run_ablation_cell(cell, events=events)
     if events < 1:
         raise ValueError(f"events must be >= 1, got {events}")
     start = time.perf_counter()
@@ -281,17 +483,22 @@ def run_matrix_cell(
 
 @dataclass
 class ScenarioMatrix:
-    """The full sweep; every future scenario PR composes against this."""
+    """The full sweep; every future scenario or protocol PR composes against this."""
 
     sizes: Sequence[int] = (1_000,)
     losses: Sequence[float] = LOSS_RATES
     scenarios: Sequence[str] = SCENARIOS
+    protocols: Sequence[str] = ("rgb",)
     seed: int = 0
     events_per_cell: int = 24
 
     def cells(self) -> List[MatrixCell]:
         return [
-            MatrixCell(scenario=scenario, num_proxies=size, loss=loss, seed=self.seed)
+            MatrixCell(
+                scenario=scenario, num_proxies=size, loss=loss, seed=self.seed,
+                protocol=protocol,
+            )
+            for protocol in self.protocols
             for scenario in self.scenarios
             for size in self.sizes
             for loss in self.losses
@@ -304,8 +511,53 @@ class ScenarioMatrix:
             if progress:
                 status = "ok" if (result.converged and result.ring_agreement) else "INCOMPLETE"
                 print(
-                    f"{cell.label:<48} {result.wall_seconds:7.2f}s "
+                    f"{cell.label:<52} {result.wall_seconds:7.2f}s "
                     f"{result.dispatched_events:>8} events  {status}",
+                    flush=True,
+                )
+            results.append(result)
+        return results
+
+
+@dataclass
+class AblationSweep:
+    """Head-to-head sweep: every protocol replays the same workload traces.
+
+    All protocols — RGB included — run through the sequential driver replay
+    (:func:`run_ablation_cell`), so hops/messages/rounds per change are
+    directly comparable; ``benchmarks/run_bench.py --ablation`` archives the
+    result in ``BENCH_ablation.json``.
+    """
+
+    sizes: Sequence[int] = (1_000, 10_000)
+    losses: Sequence[float] = (0.0, 0.01)
+    scenarios: Sequence[str] = ("churn",)
+    protocols: Sequence[str] = PROTOCOLS
+    seed: int = 0
+    events_per_cell: int = 24
+
+    def cells(self) -> List[MatrixCell]:
+        return [
+            MatrixCell(
+                scenario=scenario, num_proxies=size, loss=loss, seed=self.seed,
+                protocol=protocol,
+            )
+            for scenario in self.scenarios
+            for size in self.sizes
+            for loss in self.losses
+            for protocol in self.protocols
+        ]
+
+    def run(self, progress: bool = False) -> List[CellResult]:
+        results = []
+        for cell in self.cells():
+            result = run_ablation_cell(cell, events=self.events_per_cell)
+            if progress:
+                status = "ok" if result.converged else "DISAGREE"
+                print(
+                    f"{cell.label:<52} {result.wall_seconds:7.2f}s "
+                    f"hops/chg={result.record.value('hops_per_change'):>8.1f} "
+                    f"msgs/chg={result.record.value('messages_per_change'):>9.1f}  {status}",
                     flush=True,
                 )
             results.append(result)
@@ -317,6 +569,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--sizes", type=int, nargs="+", default=[1_000])
     parser.add_argument("--losses", type=float, nargs="+", default=list(LOSS_RATES))
     parser.add_argument("--scenarios", nargs="+", default=list(SCENARIOS), choices=SCENARIOS)
+    parser.add_argument(
+        "--protocols", nargs="+", default=["rgb"], choices=PROTOCOLS,
+        help="membership protocols to drive through the matrix",
+    )
     parser.add_argument("--events", type=int, default=24, help="workload events per cell")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", type=str, default=None, help="write records as JSON")
@@ -326,15 +582,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         sizes=args.sizes,
         losses=args.losses,
         scenarios=args.scenarios,
+        protocols=args.protocols,
         seed=args.seed,
         events_per_cell=args.events,
     )
     results = matrix.run(progress=True)
 
-    from repro.analysis.tables import render_matrix
+    from repro.analysis.tables import render_ablation, render_matrix
 
     print()
-    print(render_matrix([r.record for r in results]))
+    rgb_records = [r.record for r in results if r.cell.protocol == "rgb"]
+    baseline_records = [r.record for r in results if r.cell.protocol != "rgb"]
+    if rgb_records:
+        print(render_matrix(rgb_records))
+    if baseline_records:
+        if rgb_records:
+            print()
+        print(render_ablation(baseline_records))
     if args.out:
         payload = [r.record.to_json() for r in results]
         with open(args.out, "w") as fh:

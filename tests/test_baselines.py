@@ -102,6 +102,43 @@ class TestTreeMembershipProtocol:
         with pytest.raises(KeyError):
             protocol.join(tree.root.node_id, "alice")
 
+    def test_crashed_representative_partitions_propagation(self):
+        """A dead interior representative stalls propagation honestly: no
+        phantom hops through dead servers, unreachable subtrees stay stale,
+        and global agreement breaks (the paper's Section 5.2 tree weakness)."""
+        tree = TreeHierarchy.regular(height=3, branching=3, with_representatives=True)
+        protocol = TreeMembershipProtocol(tree)
+        healthy = protocol.join(tree.leaves()[4].node_id, "warmup")
+        # leaves()[0] plays the root and the leftmost interior spine.
+        protocol.fail_server(tree.leaves()[0].server)
+        report = protocol.join(tree.leaves()[4].node_id, "alice")
+        assert report.physical_hops < healthy.physical_hops
+        assert report.retransmissions >= 1  # the attempted send to the dead root
+        assert report.servers_reached < healthy.servers_reached
+        # Leaves behind the dead root never saw the change: stale views.
+        assert not protocol.global_agreement()
+        assert "alice" not in protocol.membership_at(tree.leaves()[8].server)
+
+    def test_origin_on_failed_server_rejected(self):
+        tree = TreeHierarchy.regular(height=3, branching=3)
+        protocol = TreeMembershipProtocol(tree)
+        victim = tree.leaves()[4]
+        protocol.fail_server(victim.server)
+        with pytest.raises(ValueError):
+            protocol.join(victim.node_id, "alice")
+
+    def test_lossy_links_add_retransmissions_not_hops(self):
+        tree = TreeHierarchy.regular(height=3, branching=4)
+        lossless = TreeMembershipProtocol(tree)
+        lossy = TreeMembershipProtocol(TreeHierarchy.regular(height=3, branching=4), loss=0.4, seed=3)
+        leaf = tree.leaves()[0].node_id
+        clean = lossless.join(leaf, "m")
+        noisy = lossy.join(leaf, "m")
+        assert noisy.physical_hops == clean.physical_hops
+        assert noisy.retransmissions > 0
+        assert noisy.messages == noisy.physical_hops + noisy.retransmissions
+        assert clean.retransmissions == 0
+
 
 class TestFlatRing:
     def test_change_visits_every_proxy(self):
@@ -128,7 +165,68 @@ class TestFlatRing:
         report = ring.join("a", "alice")
         assert "c" in report.repaired
         assert ring.ring_size() == 3
-        assert ring.total_retransmissions == 1
+        # The send towards the dead proxy plus token_retry_limit (default 2)
+        # retries are all charged as retransmissions, kernel-style.
+        assert ring.total_retransmissions == 3
+        # Hops are *successful* transmissions only: a→b, the skip b→d and the
+        # closing d→a.  The dead attempt at c is not a hop.
+        assert report.hops == 3
+        assert report.messages == 6
+
+    def test_failed_proxy_costs_no_phantom_hop(self):
+        """Regression: the seed charged a hop to the dead proxy itself."""
+        healthy = FlatRingMembership(["a", "b", "c", "d"]).join("a", "m")
+        lossy_ring = FlatRingMembership(["a", "b", "c", "d"])
+        lossy_ring.fail_proxy("c")
+        repaired = lossy_ring.join("a", "m")
+        assert healthy.hops == 4
+        assert repaired.hops == 3  # one fewer operational proxy to reach
+
+    def test_closing_hop_charged_after_trailing_repair(self):
+        """Regression: the closing hop was dropped whenever repairs left the
+        revolution with `reached <= 1`-style accounting at the tail."""
+        ring = FlatRingMembership(["a", "b", "c"])
+        ring.fail_proxy("c")
+        report = ring.join("a", "alice")
+        # a→b (1 hop), b→c wasted (retransmissions), closing b→a (1 hop).
+        assert report.hops == 2
+        assert report.members_reached == 2
+        assert report.retransmissions == 3
+
+    def test_no_closing_hop_when_token_never_leaves_origin(self):
+        ring = FlatRingMembership(["a", "b"])
+        ring.fail_proxy("b")
+        report = ring.join("a", "alice")
+        assert report.hops == 0
+        assert report.members_reached == 1
+        assert report.retransmissions == 3
+
+    def test_token_retry_limit_configurable(self):
+        ring = FlatRingMembership(["a", "b", "c"], token_retry_limit=0)
+        ring.fail_proxy("b")
+        report = ring.join("a", "alice")
+        assert report.retransmissions == 1  # the single wasted send, no retries
+
+    def test_lossy_links_add_retransmissions_not_hops(self):
+        ring = FlatRingMembership([f"ap-{i}" for i in range(12)], loss=0.4, seed=5)
+        report = ring.join("ap-0", "alice")
+        assert report.hops == 12  # delivered hops unchanged by loss masking
+        assert report.retransmissions > 0
+        assert report.messages == report.hops + report.retransmissions
+        assert ring.global_agreement()
+
+    def test_lossy_runs_deterministic_given_seed(self):
+        runs = [
+            FlatRingMembership([f"ap-{i}" for i in range(8)], loss=0.3, seed=9).join("ap-0", "m")
+            for _ in range(2)
+        ]
+        assert runs[0].retransmissions == runs[1].retransmissions
+
+    def test_invalid_loss_and_retry_limit(self):
+        with pytest.raises(ValueError):
+            FlatRingMembership(["a"], loss=1.0)
+        with pytest.raises(ValueError):
+            FlatRingMembership(["a"], token_retry_limit=-1)
 
     def test_origin_must_be_operational(self):
         ring = FlatRingMembership(["a", "b"])
@@ -166,6 +264,48 @@ class TestGossip:
         report = gossip.join("ap-0", "alice")
         assert report.converged
         assert "ap-5" not in gossip.operational()
+
+    def test_probes_to_dead_peers_are_counted_as_wasted_sends(self):
+        """Regression: failed proxies were silently excluded from peer
+        selection, so gossip's message cost under failures was understated."""
+        gossip = GossipMembership([f"ap-{i}" for i in range(20)], fanout=3, seed=4)
+        for i in range(5, 15):
+            gossip.fail_proxy(f"ap-{i}")
+        report = gossip.join("ap-0", "alice")
+        assert report.converged
+        assert report.wasted_messages > 0
+        assert report.messages > report.delivered_messages
+        assert report.delivered_messages == report.messages - report.wasted_messages
+        # No failure oracle: with half the group dead, a meaningful share of
+        # probes must have been wasted on dead peers.
+        assert report.wasted_messages >= report.messages // 10
+
+    def test_no_failures_no_loss_means_no_wasted_sends(self):
+        gossip = GossipMembership([f"ap-{i}" for i in range(15)], fanout=2, seed=6)
+        report = gossip.join("ap-0", "alice")
+        assert report.wasted_messages == 0
+
+    def test_lossy_gossip_still_converges_with_wasted_sends(self):
+        gossip = GossipMembership([f"ap-{i}" for i in range(25)], fanout=3, seed=8, loss=0.3)
+        report = gossip.join("ap-0", "alice")
+        assert report.converged
+        assert gossip.global_agreement()
+        assert report.wasted_messages > 0
+
+    def test_invalid_loss(self):
+        with pytest.raises(ValueError):
+            GossipMembership(["a", "b"], loss=-0.1)
+
+    def test_fanout_peers_are_distinct_per_sender(self):
+        """With fanout = n-1 a single lossless push round must reach every
+        peer — only true when a sender's peers are sampled without
+        replacement (duplicates would leave some peers unprobed)."""
+        for seed in range(5):
+            gossip = GossipMembership([f"ap-{i}" for i in range(6)], fanout=5, seed=seed)
+            report = gossip.join("ap-0", "alice")
+            assert report.rounds == 1
+            assert report.converged
+            assert report.messages == 5
 
     def test_deterministic_given_seed(self):
         r1 = GossipMembership([f"ap-{i}" for i in range(30)], fanout=2, seed=7).join("ap-0", "m")

@@ -1,0 +1,116 @@
+"""Tests for the churn workload generator (sampling complexity + edge cases)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.workloads.churn import ChurnKind, ChurnWorkload
+
+
+class TestSamplingScale:
+    def test_large_trace_generates_in_linear_time(self):
+        """Regression for the O(n log n)-per-event departure sampling.
+
+        The seed implementation called ``sorted(population)`` inside the
+        generate loop, which made a trace of this size take minutes; with the
+        swap-remove sampling list it is linear in the event count and runs in
+        well under the (very generous) bound below.
+        """
+        workload = ChurnWorkload(
+            ap_ids=[f"ap-{i}" for i in range(64)],
+            join_rate=50.0,
+            leave_rate=0.05,
+            failure_rate=0.02,
+            horizon=1200.0,
+            seed=11,
+        )
+        start = time.perf_counter()
+        events = workload.generate()
+        elapsed = time.perf_counter() - start
+        assert len(events) > 50_000
+        assert elapsed < 10.0, f"trace generation took {elapsed:.1f}s — sampling is superlinear"
+
+    def test_departures_sample_live_members_uniformly_enough(self):
+        """Swap-remove sampling must only ever pick currently joined members."""
+        workload = ChurnWorkload(
+            ap_ids=["a", "b"], join_rate=5.0, leave_rate=0.5, failure_rate=0.2,
+            horizon=200.0, seed=3,
+        )
+        population = set()
+        departed = set()
+        for event in workload.generate():
+            if event.kind is ChurnKind.JOIN:
+                assert event.member not in population
+                population.add(event.member)
+            else:
+                assert event.member in population
+                assert event.member not in departed
+                population.remove(event.member)
+                departed.add(event.member)
+        assert departed, "scenario should exercise departures"
+
+    def test_deterministic_given_seed(self):
+        make = lambda: ChurnWorkload(
+            ap_ids=["a", "b", "c"], join_rate=2.0, leave_rate=0.1,
+            failure_rate=0.05, horizon=100.0, seed=9,
+        ).generate()
+        assert make() == make()
+
+
+class TestZeroJoinRate:
+    def test_zero_join_rate_without_initial_members_rejected(self):
+        with pytest.raises(ValueError, match="join_rate == 0"):
+            ChurnWorkload(ap_ids=["a"], join_rate=0.0)
+
+    def test_negative_join_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnWorkload(ap_ids=["a"], join_rate=-1.0)
+
+    def test_pure_departure_trace_terminates_when_population_drains(self):
+        """join_rate=0 over an initial population: the trace must end (no
+        ZeroDivisionError / infinite loop) once every member departed."""
+        workload = ChurnWorkload(
+            ap_ids=["a", "b"],
+            join_rate=0.0,
+            leave_rate=1.0,
+            failure_rate=0.5,
+            initial_members=20,
+            horizon=1e9,  # effectively unbounded: termination must come from drain
+            seed=5,
+        )
+        events = workload.generate()
+        assert len(events) == 20
+        assert all(e.kind in (ChurnKind.LEAVE, ChurnKind.FAILURE) for e in events)
+        assert len({e.member for e in events}) == 20
+
+    def test_zero_departure_rates_with_zero_join_rate_terminate(self):
+        workload = ChurnWorkload(
+            ap_ids=["a"], join_rate=0.0, leave_rate=0.0, failure_rate=0.0,
+            initial_members=3, horizon=100.0, seed=1,
+        )
+        assert workload.generate() == []
+
+
+class TestInitialMembers:
+    def test_initial_members_do_not_emit_join_events(self):
+        workload = ChurnWorkload(
+            ap_ids=["a", "b"], join_rate=1.0, leave_rate=0.2,
+            initial_members=5, horizon=20.0, seed=2,
+        )
+        events = workload.generate()
+        joined = {e.member for e in events if e.kind is ChurnKind.JOIN}
+        assert not any(m.startswith(f"churn-2-init-") for m in joined)
+
+    def test_initial_member_departures_reference_their_proxy(self):
+        workload = ChurnWorkload(
+            ap_ids=["a", "b", "c"], join_rate=0.0, leave_rate=2.0,
+            initial_members=10, horizon=1e9, seed=7,
+        )
+        for event in workload.generate():
+            assert event.ap in ("a", "b", "c")
+
+    def test_negative_initial_members_rejected(self):
+        with pytest.raises(ValueError):
+            ChurnWorkload(ap_ids=["a"], initial_members=-1)
