@@ -71,13 +71,16 @@ def measure_configuration(height: int, joins: int, batched: bool) -> dict:
     }
 
 
-def run_matrix(sizes, events, out_path: Path) -> None:
+def run_matrix(sizes, events, out_path: Path, jobs: int = 1) -> None:
     """Sweep the event-driven scenario matrix and archive cell throughput."""
     from repro.analysis.tables import render_matrix
     from repro.workloads.matrix import LOSS_RATES, SCENARIOS, ScenarioMatrix
+    from repro.workloads.parallel import run_matrix as run_matrix_parallel
 
     matrix = ScenarioMatrix(sizes=tuple(sizes), events_per_cell=events)
-    results = matrix.run(progress=True)
+    report = run_matrix_parallel(matrix, jobs=jobs, progress=True)
+    report.raise_if_failed()
+    results = report.results
     print()
     print(render_matrix([r.record for r in results]))
     payload = {
@@ -88,6 +91,7 @@ def run_matrix(sizes, events, out_path: Path) -> None:
         "loss_rates": list(LOSS_RATES),
         "sizes": list(sizes),
         "events_per_cell": events,
+        "jobs": jobs,
         "cells": [
             dict(
                 r.record.to_json(),
@@ -104,7 +108,7 @@ def run_matrix(sizes, events, out_path: Path) -> None:
     print(f"wrote {out_path}")
 
 
-def run_ablation(sizes, losses, scenarios, events, out_path: Path) -> None:
+def run_ablation(sizes, losses, scenarios, events, out_path: Path, jobs: int = 1) -> None:
     """Drive every protocol through the same workloads; archive the costs."""
     from repro.analysis.scalability import hcn_ring, hcn_tree
     from repro.analysis.tables import render_ablation
@@ -114,12 +118,15 @@ def run_ablation(sizes, losses, scenarios, events, out_path: Path) -> None:
         tree_shape_for_leaves,
     )
     from repro.workloads.matrix import AblationSweep
+    from repro.workloads.parallel import run_ablation as run_ablation_parallel
 
     sweep = AblationSweep(
         sizes=tuple(sizes), losses=tuple(losses), scenarios=tuple(scenarios),
         events_per_cell=events,
     )
-    results = sweep.run(progress=True)
+    report = run_ablation_parallel(sweep, jobs=jobs, progress=True)
+    report.raise_if_failed()
+    results = report.results
     print()
     print(render_ablation([r.record for r in results]))
 
@@ -144,6 +151,7 @@ def run_ablation(sizes, losses, scenarios, events, out_path: Path) -> None:
         "loss_rates": list(losses),
         "scenarios": list(scenarios),
         "events_per_cell": events,
+        "jobs": jobs,
         "closed_form_hcn": closed_form,
         "cells": [
             dict(
@@ -222,12 +230,21 @@ def main(argv=None) -> int:
         default=Path(__file__).resolve().parent / "BENCH_ablation.json",
         help="ablation output JSON path",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for --matrix/--ablation sweeps "
+        "(cell results are bit-identical to --jobs 1)",
+    )
     args = parser.parse_args(argv)
     if args.joins < 1:
         parser.error(f"--joins must be >= 1, got {args.joins}")
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     if args.matrix:
-        run_matrix(args.matrix_sizes, args.matrix_events, args.matrix_out)
+        run_matrix(args.matrix_sizes, args.matrix_events, args.matrix_out, jobs=args.jobs)
         return 0
 
     if args.ablation:
@@ -237,6 +254,7 @@ def main(argv=None) -> int:
             args.ablation_scenarios,
             args.ablation_events,
             args.ablation_out,
+            jobs=args.jobs,
         )
         return 0
 

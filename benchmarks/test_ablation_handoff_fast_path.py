@@ -10,6 +10,8 @@ random movement it rarely does.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core.config import SimulationConfig
 from repro.core.simulation import RGBSimulation
 from repro.workloads.handoffs import HandoffStorm
@@ -40,6 +42,7 @@ def run_storm(locality: float, handoffs: int = 60, seed: int = 13):
     return sim.handoff_statistics(), len(sim.global_membership())
 
 
+@pytest.mark.slow
 def test_ablation_handoff_fast_path(benchmark, report):
     def run_all():
         return {locality: run_storm(locality) for locality in (0.9, 0.5, 0.1)}

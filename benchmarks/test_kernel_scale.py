@@ -13,8 +13,11 @@ Two claims back the unified-kernel refactor:
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import replace
+
+import pytest
 
 from repro.core.config import ProtocolConfig
 from repro.core.hierarchy import HierarchyBuilder
@@ -22,6 +25,7 @@ from repro.core.one_round import OneRoundEngine
 from repro.workloads.scenarios import run_large_scale_scenario
 
 
+@pytest.mark.slow
 def test_100k_proxy_full_propagation(report):
     """>= 100k access proxies, one full batched propagation, views agree."""
     result = run_large_scale_scenario(ring_size=10, height=5, joins=16)
@@ -100,5 +104,36 @@ def test_batched_apply_beats_per_op_3x_on_table1_workload(report):
             f"batched delta path     = {batched_s:.3f}s",
             f"speedup                = {ratio:.1f}x (acceptance: >= 3x)",
             f"batched throughput     = {ops_per_s:.0f} joins/s propagated",
+        ],
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    not os.environ.get("RUN_SLOW_BENCHES"),
+    reason="~90s / ~3GB: run with RUN_SLOW_BENCHES=1 (scheduled slow CI tier)",
+)
+def test_1m_proxy_full_propagation(report):
+    """First 1M-proxy propagation (r=10, h=6): the PR 4 perf-layer milestone.
+
+    Tractable only with the dirty-ring pending set — the seed's
+    ``pending_rings`` rescanned all 111 111 rings per sweep — plus the
+    array-backed ring index and the batched delta path.
+    """
+    result = run_large_scale_scenario(ring_size=10, height=6, joins=4)
+    details = result.details
+    assert details["access_proxies"] == 1_000_000
+    assert result.final_membership == 4
+    assert details["sampled_ring_agreement"] is True
+    assert details["rounds"] >= details["rings"]
+    report(
+        "Kernel scale — 1 000 000 access proxies, one full propagation",
+        [
+            f"access proxies        = {details['access_proxies']}",
+            f"rings / entities      = {details['rings']} / {details['entities']}",
+            f"build                 = {details['build_seconds']:.2f}s",
+            f"propagate (4 joins)   = {details['propagate_seconds']:.2f}s",
+            f"token rounds          = {details['rounds']}",
+            f"hop count             = {details['hop_count']}",
         ],
     )

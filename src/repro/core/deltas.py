@@ -38,7 +38,9 @@ from repro.core.identifiers import GloballyUniqueId, NodeId
 from repro.core.member import MemberInfo, MemberStatus
 from repro.core.token import TokenOperation, TokenOperationType
 
-_ADD_OPS = (TokenOperationType.MEMBER_JOIN, TokenOperationType.MEMBER_HANDOFF)
+_ADD_OPS = frozenset(
+    (TokenOperationType.MEMBER_JOIN, TokenOperationType.MEMBER_HANDOFF)
+)
 
 
 @dataclass(frozen=True)

@@ -20,9 +20,16 @@ from dataclasses import dataclass
 from typing import Any
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, eq=False)
 class _Identifier:
-    """Base class for validated string identifiers."""
+    """Base class for validated string identifiers.
+
+    Equality, ordering and hashing are hand-written rather than
+    dataclass-generated: the generated methods allocate a field tuple per
+    comparison, and identifiers are compared and hashed millions of times on
+    the kernel's token path.  Semantics are unchanged — same-class
+    comparison by ``value``, cross-class comparisons refused.
+    """
 
     value: str
 
@@ -31,12 +38,47 @@ class _Identifier:
             raise ValueError(
                 f"{type(self).__name__} requires a non-empty string, got {self.value!r}"
             )
+        # Identifiers are dict keys on every hot path of the protocol kernel;
+        # precomputing the string hash once saves the hash() indirection on
+        # each of the millions of probes a large propagation performs.
+        object.__setattr__(self, "_hash", hash(self.value))
 
     def __hash__(self) -> int:
-        # Hash the wrapped string directly (str caches its hash) instead of
-        # the generated dataclass field-tuple hash; identifiers are dict keys
-        # on every hot path of the protocol kernel.
-        return hash(self.value)
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        if other.__class__ is self.__class__:
+            return self.value == other.value
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        if other is self:
+            return False
+        if other.__class__ is self.__class__:
+            return self.value != other.value
+        return NotImplemented
+
+    def __lt__(self, other: "_Identifier") -> bool:
+        if other.__class__ is self.__class__:
+            return self.value < other.value
+        return NotImplemented
+
+    def __le__(self, other: "_Identifier") -> bool:
+        if other.__class__ is self.__class__:
+            return self.value <= other.value
+        return NotImplemented
+
+    def __gt__(self, other: "_Identifier") -> bool:
+        if other.__class__ is self.__class__:
+            return self.value > other.value
+        return NotImplemented
+
+    def __ge__(self, other: "_Identifier") -> bool:
+        if other.__class__ is self.__class__:
+            return self.value >= other.value
+        return NotImplemented
 
     def __str__(self) -> str:
         return self.value

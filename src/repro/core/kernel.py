@@ -63,6 +63,35 @@ class ProtocolError(RuntimeError):
 OperationBatch = Union[MembershipDelta, Sequence[TokenOperation]]
 
 
+def stale_for(applied: Optional[Mapping[str, int]], op: TokenOperation) -> bool:
+    """The one copy of the staleness rule (see ``is_stale_for_ring``).
+
+    ``applied`` is a ring's per-member sequence high-water-mark map (may be
+    ``None``/empty); hot paths hoist the map lookup and call this per op.
+    An operation is stale when the ring already circulated a *newer*
+    operation about the same member — sequences are globally monotonic in
+    capture order, so a lower-sequence operation arriving late (reordered by
+    loss + resend) must not supersede the member's most recent state.
+    """
+    if not applied:
+        return False
+    member = op.member
+    return member is not None and op.sequence < applied.get(member.guid.value, 0)
+
+
+class _RingDirtyMarker:
+    """Bound ``on_enqueue`` hook: marks one ring as having queued work."""
+
+    __slots__ = ("_add", "_ring_id")
+
+    def __init__(self, add, ring_id: str) -> None:
+        self._add = add
+        self._ring_id = ring_id
+
+    def __call__(self) -> None:
+        self._add(self._ring_id)
+
+
 class MessageDispatch:
     """Seam through which the kernel emits inter-entity protocol messages.
 
@@ -253,9 +282,35 @@ class TokenRoundKernel:
         self.entities: Dict[NodeId, NetworkEntityState] = (
             dict(entities) if entities is not None else hierarchy.build_entity_states()
         )
-        for entity in self.entities.values():
+        # Rings with (potentially) pending queued work.  Maintained through
+        # the per-queue on_enqueue hook so *any* insert — kernel, dispatch,
+        # harness or test code — marks the owning ring; pending_rings() then
+        # verifies only these candidates instead of scanning every queue of
+        # every ring per sweep (quadratic pain at 100k+ proxies).
+        self._dirty_rings: Set[str] = set()
+        dirty_add = self._dirty_rings.add
+        ring_of_node = hierarchy.ring_of_node
+        for node, entity in self.entities.items():
             entity.mq.aggregate = self.config.aggregate_mq
+            ring_id = ring_of_node.get(node)
+            if ring_id is not None:
+                entity.mq.on_enqueue = _RingDirtyMarker(dirty_add, ring_id)
+                if not entity.mq.is_empty:
+                    dirty_add(ring_id)
         self.emit_prune_events = emit_prune_events
+        # Per-ring member sets for the bottom-tier bookkeeping of the batched
+        # apply path, invalidated by the ring's mutation counter.
+        self._ring_set_cache: Dict[str, Tuple[int, Set[NodeId]]] = {}
+        # Pre-bound hot-loop counters (metrics.counter() is a dict probe).
+        metrics = self.metrics
+        self._c_rounds_started = metrics.counter("rounds.started")
+        self._c_rounds_completed = metrics.counter("rounds.completed")
+        self._c_hops_token = metrics.counter("hops.token")
+        self._c_hops_notify = metrics.counter("hops.notify")
+        self._c_hops_ack = metrics.counter("hops.ack")
+        self._c_notifications = metrics.counter("messages.notifications")
+        self._c_holder_ack = metrics.counter("messages.holder_ack")
+        self._capture_counters: Dict[str, object] = {}
         self.failed: Set[NodeId] = set()
         self._op_sequence = itertools.count(1)
         # Token ids are per-kernel, not process-global: two identically seeded
@@ -441,7 +496,11 @@ class TokenRoundKernel:
         self.entity(ap_id).mq.insert(operation, sender=ap_id, now=now)
         ring_id = self.hierarchy.ring_of(ap_id).ring_id
         self.ring_seen[ring_id].add(operation.sequence)
-        self.metrics.counter(f"capture.{operation.op_type.value}").increment()
+        counter = self._capture_counters.get(operation.op_type.value)
+        if counter is None:
+            counter = self.metrics.counter(f"capture.{operation.op_type.value}")
+            self._capture_counters[operation.op_type.value] = counter
+        counter.increment()
         if self.trace.enabled:
             self.trace.record(now, "capture", str(ap_id), operation.describe())
         return operation
@@ -452,24 +511,19 @@ class TokenRoundKernel:
         """Operations the target ring has not seen yet and that are not stale
         (notification filter)."""
         seen = self.ring_seen[ring_id]
-        return [
-            op
-            for op in operations
-            if op.sequence not in seen and not self.is_stale_for_ring(ring_id, op)
-        ]
+        applied = self.ring_applied_seq.get(ring_id)
+        if applied:
+            return [
+                op
+                for op in operations
+                if op.sequence not in seen and not stale_for(applied, op)
+            ]
+        return [op for op in operations if op.sequence not in seen]
 
     def is_stale_for_ring(self, ring_id: str, operation: TokenOperation) -> bool:
         """True when the ring already circulated a *newer* operation about the
-        same member.  Sequences are globally monotonic in capture order, so a
-        lower-sequence operation arriving late (reordered by loss + resend)
-        must not supersede the member's most recent state."""
-        member = operation.member
-        if member is None:
-            return False
-        applied = self.ring_applied_seq.get(ring_id)
-        if not applied:
-            return False
-        return operation.sequence < applied.get(member.guid.value, 0)
+        same member (the rule itself lives in :func:`stale_for`)."""
+        return stale_for(self.ring_applied_seq.get(ring_id), operation)
 
     def note_circulated(self, ring_id: str, operations: Iterable[TokenOperation]) -> None:
         """Record the per-member sequence high-water marks of a round's batch."""
@@ -599,7 +653,17 @@ class TokenRoundKernel:
             events = self._apply_per_op(entity, ring, operations, now)
         for event in events:
             self.event_bus.publish(event)
-        return events
+        return list(events) if not isinstance(events, list) else events
+
+    def _ring_members_set(self, ring: LogicalRing) -> Set[NodeId]:
+        """Cached ``set(ring.members)``, invalidated by the ring's mutation
+        counter (repairs bump it)."""
+        cached = self._ring_set_cache.get(ring.ring_id)
+        if cached is not None and cached[0] == ring.version:
+            return cached[1]
+        members = set(ring.members)
+        self._ring_set_cache[ring.ring_id] = (ring.version, members)
+        return members
 
     def _apply_delta(
         self,
@@ -607,41 +671,70 @@ class TokenRoundKernel:
         ring: LogicalRing,
         delta: MembershipDelta,
         now: float,
-    ) -> List[MembershipEvent]:
+    ) -> Sequence[MembershipEvent]:
         """Set-based single-pass application of a compiled delta."""
         if not delta.entries:
             return []
-        events: List[MembershipEvent] = []
-        coverage = self.coverage(ring.ring_id)
-        node = entity.current
         is_bottom = ring.tier == self._bottom_tier
+        return self._apply_delta_ctx(
+            entity,
+            delta,
+            now,
+            self.coverage(ring.ring_id),
+            is_bottom,
+            self._ring_members_set(ring) if is_bottom else None,
+        )
+
+    def _apply_delta_ctx(
+        self,
+        entity: NetworkEntityState,
+        delta: MembershipDelta,
+        now: float,
+        coverage: Set[str],
+        is_bottom: bool,
+        ring_member_set: Optional[Set[NodeId]],
+    ) -> Sequence[MembershipEvent]:
+        """Delta application with the per-ring context precomputed.
+
+        ``run_round`` applies the same compiled delta at every member it
+        visits; hoisting the coverage set and ring-member set out of the
+        per-visit call is what makes the token path O(net changes) per visit.
+        """
+        events: Optional[List[MembershipEvent]] = None
+        node = entity.current
         local = entity.local_members
         neighbor = entity.neighbor_members
         ring_view = entity.ring_members
-        ring_member_set = set(ring.members) if is_bottom else None
+        # Probe the views' string-keyed stores directly; mutations still go
+        # through the view methods so versioning stays correct.  The probes
+        # also gate remove() calls, so the common no-op removal (an operation
+        # about a member this view never covered) costs one dict hit.
+        local_store = local._members
+        neighbor_store = neighbor._members
+        ring_store = ring_view._members
         emit_prune = self.emit_prune_events
         for entry in delta.entries:
             op = entry.operation
             member = op.member
-            assert member is not None
             resolved = entry.resolved
             guid_value = entry.guid_value
             adding = resolved is not None
-            in_coverage = member.ap.value in coverage
+            member_ap = member.ap
+            in_coverage = member_ap.value in coverage
 
             if is_bottom:
                 # Local member list: only the access proxy the member is attached to.
-                if adding and member.ap == node:
+                if adding and member_ap == node:
                     local.add(resolved)
-                elif guid_value in local and (member.ap != node or not adding):
+                elif guid_value in local_store and (member_ap != node or not adding):
                     local.remove(guid_value)
                 # Neighbour member list: members at the *other* proxies of this ring.
-                if member.ap != node and member.ap in ring_member_set:
+                if member_ap != node and member_ap in ring_member_set:
                     if adding:
                         neighbor.add(resolved)
-                    else:
+                    elif guid_value in neighbor_store:
                         neighbor.remove(guid_value)
-                elif guid_value in neighbor and member.ap not in ring_member_set:
+                elif guid_value in neighbor_store and member_ap not in ring_member_set:
                     neighbor.remove(guid_value)
 
             # Ring member list: members within the ring's coverage area.
@@ -649,14 +742,21 @@ class TokenRoundKernel:
             if adding:
                 if in_coverage:
                     if ring_view.add(resolved):
-                        event = self._event(op, node, now, len(ring_view))
-                elif ring_view.remove(guid_value) and emit_prune:
-                    event = self._event(op, node, now, len(ring_view))
-            elif ring_view.remove(guid_value):
-                event = self._event(op, node, now, len(ring_view))
+                        event = self._event(op, node, now, len(ring_store))
+                elif guid_value in ring_store:
+                    ring_view.remove(guid_value)
+                    if emit_prune:
+                        event = self._event(op, node, now, len(ring_store))
+            elif guid_value in ring_store:
+                ring_view.remove(guid_value)
+                event = self._event(op, node, now, len(ring_store))
             if event is not None:
-                events.append(event)
-        return events
+                if events is None:
+                    events = [event]
+                else:
+                    events.append(event)
+        # Most visits change nothing; avoid allocating an empty list each.
+        return events if events is not None else ()
 
     def _apply_per_op(
         self,
@@ -869,42 +969,80 @@ class TokenRoundKernel:
             raise ProtocolError(f"holder {holder_id} has failed")
 
         holder_entity = self.entity(holder_id)
-        operations, child_senders = self.drain_for_round(holder_entity, ring.members)
-        self.mark_seen(ring_id, operations)
-        self.note_circulated(ring_id, operations)
+        # Inlined drain_for_round, reusing the cached ring-member set.
+        entries = holder_entity.mq.drain_entries()
+        operations = tuple(e.operation for e in entries)
+        ring_members_now = self._ring_members_set(ring)
+        child_senders = [
+            e.sender
+            for e in entries
+            if e.sender != holder_id and e.sender not in ring_members_now
+        ]
+        # Single pass doing mark_seen + note_circulated together.
+        seen = self.ring_seen[ring_id]
+        applied = self.ring_applied_seq.setdefault(ring_id, {})
+        for op in operations:
+            seen.add(op.sequence)
+            member = op.member
+            if member is not None:
+                guid = member.guid.value
+                if op.sequence > applied.get(guid, 0):
+                    applied[guid] = op.sequence
 
-        token = Token(
-            group=self.hierarchy.group,
-            holder=holder_id,
-            ring_id=ring_id,
-            operations=operations,
-            token_id=next(self._token_ids),
-        )
+        token_id = next(self._token_ids)
+        track_token = self.trace.enabled  # the token object itself is trace-only
+        token: Optional[Token] = None
+        if track_token:
+            token = Token(
+                group=self.hierarchy.group,
+                holder=holder_id,
+                ring_id=ring_id,
+                operations=operations,
+                token_id=token_id,
+            )
         result = RoundResult(ring_id=ring_id, holder=holder_id, operations=operations)
-        self.metrics.counter("rounds.started").increment()
-        if self.trace.enabled:
+        self._c_rounds_started._value += 1
+        if track_token:
             self.trace.record(now, "round", str(holder_id), f"start {token.describe()}")
 
         # One compile per round: every visited member applies the same delta.
         use_batched = self.config.batched_apply
         batch: OperationBatch = self.compile_delta(operations) if use_batched else operations
-        track_token = self.trace.enabled  # the visit log on the token is debug-only
         publish = self.event_bus.publish
+        entities = self.entities
+        failed = self.failed
+        dispatch = self.dispatch
+        has_entries = not use_batched or bool(batch.entries)
+        is_bottom = ring.tier == self._bottom_tier
+        disseminate_downward = self.config.disseminate_downward
 
         order = ring.members_from(holder_id)
+        order_len = len(order)
         forwarded_up = False
-        emit_token = self.dispatch.emits_token_messages
+        emit_token = dispatch.emits_token_messages
         prev_node = holder_id
+        # Hot-loop accumulators and cache handles: coverage and the
+        # ring-member set are re-validated per visit through their caches
+        # (dict probes) so a repair triggered mid-round — by this ring's own
+        # token or by a notification re-route — is visible to later visits,
+        # exactly as in the uncached path.
+        token_hops = 0
+        notify_hops = 0
+        retransmissions = 0
+        visited = result.visited
+        visited_append = visited.append
+        coverage_cache = self._coverage_cache
+        ring_set_cache = self._ring_set_cache
         index = 0
-        while index < len(order):
+        while index < order_len:
             node = order[index]
             if node != holder_id:
-                result.token_hops += 1
+                token_hops += 1
                 if emit_token:
-                    self.dispatch.token_hop(self, prev_node, node, now)
-            if node in self.failed:
+                    dispatch.token_hop(self, prev_node, node, now)
+            if node in failed:
                 # Detection by token retransmission, then local repair.
-                result.retransmissions += self.config.token_retry_limit + 1
+                retransmissions += self.config.token_retry_limit + 1
                 detector = order[index - 1] if index > 0 else holder_id
                 repair_ops = self.repair_ring(ring, node, detector, now)
                 result.repaired.append(node)
@@ -916,10 +1054,26 @@ class TokenRoundKernel:
 
             if track_token:
                 token = token.record_visit(node)
-            result.visited.append(node)
-            entity = self.entities[node]
+            visited_append(node)
+            entity = entities[node]
             if use_batched:
-                events = self._apply_delta(entity, ring, batch, now)
+                if has_entries:
+                    coverage = coverage_cache.get(ring_id)
+                    if coverage is None:
+                        coverage = self.coverage(ring_id)
+                    if is_bottom:
+                        cached_set = ring_set_cache.get(ring_id)
+                        if cached_set is not None and cached_set[0] == ring.version:
+                            member_set = cached_set[1]
+                        else:
+                            member_set = self._ring_members_set(ring)
+                    else:
+                        member_set = None
+                    events = self._apply_delta_ctx(
+                        entity, batch, now, coverage, is_bottom, member_set
+                    )
+                else:
+                    events = ()
             else:
                 events = self._apply_per_op(entity, ring, operations, now)
             if events:
@@ -929,28 +1083,39 @@ class TokenRoundKernel:
             entity.ring_ok = True  # Figure 3 line 09
             prev_node = node
 
-            # Figure 3 lines 10-13: leader forwards to its parent.
             if operations:
-                parent_target = self.upward_target(entity, ring.leader)
-                if parent_target is not None:
-                    result.notify_hops += self.forward_notification(
-                        node, parent_target, operations, now
+                # Figure 3 lines 10-13: leader forwards to its parent
+                # (inlined upward_target; ring.leader can change mid-round).
+                if (
+                    node == ring.leader
+                    and entity.parent_ok
+                    and entity.parent is not None
+                ):
+                    notify_hops += self.forward_notification(
+                        node, entity.parent, operations, now
                     )
                     forwarded_up = True
 
-            # Figure 3 lines 14-16: notify child rings.
-            if operations:
-                for child in self.downward_targets(entity):
-                    if child in self.failed:
-                        continue
-                    result.notify_hops += self.forward_notification(node, child, operations, now)
+                # Figure 3 lines 14-16: notify child rings.  Iterate a copy:
+                # a notification to a crashed child repairs that child's ring
+                # and may rewire this entity's child list mid-loop.
+                if disseminate_downward and entity.children:
+                    for child in list(entity.children):
+                        if child in failed:
+                            continue
+                        notify_hops += self.forward_notification(
+                            node, child, operations, now
+                        )
             index += 1
 
         # Closing hop: the token travels from the last visited node back to the holder.
-        if len(result.visited) >= 2:
-            result.token_hops += 1
+        if len(visited) >= 2:
+            token_hops += 1
             if emit_token:
                 self.dispatch.token_hop(self, prev_node, holder_id, now)
+        result.token_hops = token_hops
+        result.notify_hops = notify_hops
+        result.retransmissions = retransmissions
 
         # If the ring leader failed mid-round (before its turn), the repaired
         # ring's new leader still has to report the operations to the parent.
@@ -969,24 +1134,27 @@ class TokenRoundKernel:
                 if sender in self.failed:
                     continue
                 result.ack_hops += 1
-                self.metrics.counter("messages.holder_ack").increment()
+                self._c_holder_ack.increment()
                 if self.trace.enabled:
                     self.trace.record(now, "ack", str(holder_id), f"holder-ack to {sender}")
                 self.dispatch.deliver_holder_ack(self, holder_id, sender, now)
 
         # Figure 3 lines 21-23: control of a fresh token moves to the next node.
-        if ring.members:
-            try:
-                self._ring_holder[ring_id] = ring.successor(holder_id)
-            except Exception:
+        members = ring.members
+        if members:
+            idx = ring._index.get(holder_id)
+            if idx is not None:
+                nxt = idx + 1
+                self._ring_holder[ring_id] = members[nxt if nxt < len(members) else 0]
+            else:  # holder repaired away mid-round
                 self._ring_holder[ring_id] = (
-                    ring.leader if ring.leader is not None else ring.members[0]
+                    ring.leader if ring.leader is not None else members[0]
                 )
 
-        self.metrics.counter("rounds.completed").increment()
-        self.metrics.counter("hops.token").increment(result.token_hops)
-        self.metrics.counter("hops.notify").increment(result.notify_hops)
-        self.metrics.counter("hops.ack").increment(result.ack_hops)
+        self._c_rounds_completed._value += 1
+        self._c_hops_token._value += result.token_hops
+        self._c_hops_notify._value += result.notify_hops
+        self._c_hops_ack._value += result.ack_hops
         return result
 
     def pick_holder(self, ring: LogicalRing) -> NodeId:
@@ -999,13 +1167,19 @@ class TokenRoundKernel:
             if start is not None and start in ring.members
             else ring.members_in_order()
         )
-        operational = [n for n in candidates if n not in self.failed]
-        if not operational:
-            raise ProtocolError(f"ring {ring.ring_id!r} has no operational members")
-        for node in operational:
-            if not self.entities[node].mq.is_empty:
+        failed = self.failed
+        entities = self.entities
+        first_operational: Optional[NodeId] = None
+        for node in candidates:
+            if node in failed:
+                continue
+            if first_operational is None:
+                first_operational = node
+            if not entities[node].mq.is_empty:
                 return node
-        return operational[0]
+        if first_operational is None:
+            raise ProtocolError(f"ring {ring.ring_id!r} has no operational members")
+        return first_operational
 
     def forward_notification(
         self, sender: NodeId, target: NodeId, operations: Sequence[TokenOperation], now: float
@@ -1030,9 +1204,9 @@ class TokenRoundKernel:
             if new_target is None or new_target == target:
                 return 0
             return self.forward_notification(sender, new_target, operations, now)
-        if not self.hierarchy.has_node(target):
+        target_ring_id = self.hierarchy.ring_of_node.get(target)
+        if target_ring_id is None:  # no longer in any ring (repaired away)
             return 0
-        target_ring_id = self.hierarchy.ring_of(target).ring_id
         fresh = self.fresh_for_ring(target_ring_id, operations)
         if not fresh:
             return 0
@@ -1041,7 +1215,7 @@ class TokenRoundKernel:
         # lost notification until it lands, so marking early never strands ops.
         self.mark_seen(target_ring_id, fresh)
         self.dispatch.deliver_notification(self, sender, target, fresh, now)
-        self.metrics.counter("messages.notifications").increment()
+        self._c_notifications.increment()
         if self.trace.enabled:
             self.trace.record(
                 now,
@@ -1056,20 +1230,39 @@ class TokenRoundKernel:
     # ------------------------------------------------------------------
 
     def pending_rings(self) -> List[str]:
-        """Rings that currently have at least one queued operation."""
-        pending = []
+        """Rings that currently have at least one queued operation.
+
+        Candidates come from the dirty-ring set the per-queue ``on_enqueue``
+        hooks maintain; each is verified against the actual queues (an insert
+        may have aggregated away, or the only work may sit at a failed
+        member) and cleaned candidates are unmarked.  Semantics match the
+        original exhaustive scan exactly — only the cost differs.
+        """
+        dirty = self._dirty_rings
+        if not dirty:
+            return []
+        pending: List[str] = []
+        clean: List[str] = []
         failed = self.failed
         entities = self.entities
-        for ring_id, ring in self.hierarchy.rings.items():
-            for node in ring.members:
-                if node in failed:
-                    continue
-                if not entities[node].mq.is_empty:
-                    pending.append(ring_id)
-                    break
+        rings = self.hierarchy.rings
+        for ring_id in dirty:
+            ring = rings.get(ring_id)
+            has_work = False
+            if ring is not None:
+                for node in ring.members:
+                    if node not in failed and not entities[node].mq.is_empty:
+                        has_work = True
+                        break
+            if has_work:
+                pending.append(ring_id)
+            else:
+                clean.append(ring_id)
+        for ring_id in clean:
+            dirty.discard(ring_id)
         # Bottom-up, then lexicographic: deterministic and matches the paper's
         # bottom-to-top propagation narrative.
-        pending.sort(key=lambda rid: (self.hierarchy.ring(rid).tier, rid))
+        pending.sort(key=lambda rid: (rings[rid].tier, rid))
         return pending
 
     def propagate(self, now: float = 0.0, max_iterations: int = 10_000) -> PropagationReport:

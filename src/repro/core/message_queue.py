@@ -68,6 +68,11 @@ class MessageQueue:
         self._unkeyed = itertools.count()
         self.total_enqueued = 0
         self.total_aggregated_away = 0
+        #: Optional zero-argument callback invoked on every insert().  The
+        #: kernel binds it to mark the owning ring as having pending work, so
+        #: ``pending_rings`` never has to scan every queue of every ring —
+        #: and the hook fires no matter which layer performed the insert.
+        self.on_enqueue = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -79,6 +84,8 @@ class MessageQueue:
     def insert(self, operation: TokenOperation, sender: NodeId, now: float) -> None:
         """Insert one operation (``MQ.Insert`` in the paper's pseudocode)."""
         self.total_enqueued += 1
+        if self.on_enqueue is not None:
+            self.on_enqueue()
         entry = QueuedMessage(operation=operation, sender=sender, enqueued_at=now)
         if not self.aggregate:
             self._entries[next(self._unkeyed)] = entry

@@ -46,14 +46,25 @@ class LogicalRing:
     leader: Optional[NodeId] = None
 
     def __post_init__(self) -> None:
-        if len(set(self.members)) != len(self.members):
+        # Position index: member -> slot in circulation order.  Successor /
+        # predecessor / members_from were O(ring) ``list.index`` scans per
+        # token hop; the index makes them O(1) lookups, which matters both in
+        # the kernel's round loop and for the large flat-ring baseline.
+        self._reindex()
+        if len(self._index) != len(self.members):
             raise RingError(f"ring {self.ring_id!r} has duplicate members")
         if self.members and self.leader is None:
             self.leader = self.members[0]
-        if self.leader is not None and self.leader not in self.members:
+        if self.leader is not None and self.leader not in self._index:
             raise RingError(
                 f"leader {self.leader} of ring {self.ring_id!r} is not a ring member"
             )
+
+    def _reindex(self) -> None:
+        self._index = {node: position for position, node in enumerate(self.members)}
+        # Mutation counter: lets callers (e.g. the kernel's per-round member
+        # set cache) cheaply detect that a ring changed shape.
+        self.version = getattr(self, "version", 0) + 1
 
     # -- basic accessors ---------------------------------------------------------
 
@@ -61,7 +72,10 @@ class LogicalRing:
         return len(self.members)
 
     def __contains__(self, node: object) -> bool:
-        return node in self.members
+        try:
+            return node in self._index
+        except TypeError:  # unhashable probe: fall back to the list semantics
+            return node in self.members
 
     @property
     def is_empty(self) -> bool:
@@ -77,24 +91,24 @@ class LogicalRing:
         return self.members[idx:] + self.members[:idx]
 
     def _index_of(self, node: NodeId) -> int:
-        try:
-            return self.members.index(node)
-        except ValueError:
-            raise RingError(f"node {node} is not a member of ring {self.ring_id!r}") from None
+        idx = self._index.get(node)
+        if idx is None:
+            raise RingError(f"node {node} is not a member of ring {self.ring_id!r}")
+        return idx
 
     def successor(self, node: NodeId) -> NodeId:
         """The next node after ``node`` in circulation order."""
-        if len(self.members) == 0:
+        members = self.members
+        if not members:
             raise RingError(f"ring {self.ring_id!r} is empty")
-        idx = self._index_of(node)
-        return self.members[(idx + 1) % len(self.members)]
+        idx = self._index_of(node) + 1
+        return members[idx if idx < len(members) else 0]
 
     def predecessor(self, node: NodeId) -> NodeId:
         """The node before ``node`` in circulation order."""
-        if len(self.members) == 0:
+        if not self.members:
             raise RingError(f"ring {self.ring_id!r} is empty")
-        idx = self._index_of(node)
-        return self.members[(idx - 1) % len(self.members)]
+        return self.members[self._index_of(node) - 1]
 
     # -- membership changes ---------------------------------------------------------
 
@@ -105,13 +119,16 @@ class LogicalRing:
         which is what happens when a new access proxy joins the ring of a
         nearby proxy; otherwise it is appended at the end of the order.
         """
-        if node in self.members:
+        if node in self._index:
             raise RingError(f"node {node} is already a member of ring {self.ring_id!r}")
         if after is None:
             self.members.append(node)
+            self._index[node] = len(self.members) - 1
+            self.version += 1
         else:
             idx = self._index_of(after)
             self.members.insert(idx + 1, node)
+            self._reindex()
         if self.leader is None:
             self.leader = node
 
@@ -124,6 +141,7 @@ class LogicalRing:
         idx = self._index_of(node)
         was_leader = self.leader == node
         del self.members[idx]
+        self._reindex()
         if was_leader:
             self.leader = None
         return was_leader
@@ -194,6 +212,8 @@ class LogicalRing:
             raise RingError(f"ring {self.ring_id!r} has duplicate members")
         if self.leader is not None and self.leader not in self.members:
             raise RingError(f"ring {self.ring_id!r} leader is not a member")
+        if self._index != {node: i for i, node in enumerate(self.members)}:
+            raise RingError(f"ring {self.ring_id!r} position index is out of sync")
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -15,8 +15,7 @@ inter-ring messages generated while the token executes.
 from __future__ import annotations
 
 import enum
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.identifiers import GroupId, NodeId
@@ -82,9 +81,6 @@ class TokenOperation:
         return f"{self.op_type.value}({subject})"
 
 
-_token_ids = itertools.count(1)
-
-
 @dataclass
 class Token:
     """A token circulating in one logical ring.
@@ -112,7 +108,12 @@ class Token:
     ring_id: str
     operations: Tuple[TokenOperation, ...] = ()
     round_number: int = 0
-    token_id: int = field(default_factory=lambda: next(_token_ids))
+    #: Assigned by the owning kernel from its *per-kernel* counter.  This used
+    #: to default to a module-level ``itertools.count``, which was
+    #: process-global mutable state: forked pool workers inherited whatever
+    #: the parent had consumed, so the same seeded cell produced different
+    #: token ids depending on which worker ran it.  0 means "unassigned".
+    token_id: int = 0
     visited: Tuple[NodeId, ...] = ()
 
     def with_operations(self, operations: Sequence[TokenOperation]) -> "Token":
@@ -139,11 +140,18 @@ class Token:
             visited=self.visited + (node,),
         )
 
-    def fresh(self, new_holder: NodeId, operations: Iterable[TokenOperation] = ()) -> "Token":
+    def fresh(
+        self,
+        new_holder: NodeId,
+        operations: Iterable[TokenOperation] = (),
+        token_id: int = 0,
+    ) -> "Token":
         """The fresh token prepared when control transfers to the next holder.
 
         Figure 3, lines 21–23: when the token returns to ``Holder.Next`` a
-        fresh token is prepared and control transfers to that node.
+        fresh token is prepared and control transfers to that node.  The
+        caller (the kernel) supplies the new ``token_id`` from its per-kernel
+        counter.
         """
         return Token(
             group=self.group,
@@ -151,6 +159,7 @@ class Token:
             ring_id=self.ring_id,
             operations=tuple(operations),
             round_number=self.round_number + 1,
+            token_id=token_id,
             visited=(),
         )
 

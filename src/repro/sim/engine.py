@@ -20,9 +20,7 @@ Design notes
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.sim.clock import VirtualClock
 
@@ -33,14 +31,6 @@ class SimulationError(RuntimeError):
     """Raised for invalid scheduling requests (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
-class _HeapEntry:
-    time: float
-    priority: int
-    sequence: int
-    event: "Event" = field(compare=False)
-
-
 class Event:
     """A scheduled callback.
 
@@ -48,7 +38,7 @@ class Event:
     used to cancel the event before it fires.
     """
 
-    __slots__ = ("time", "priority", "callback", "label", "_cancelled", "_dispatched")
+    __slots__ = ("time", "priority", "callback", "label", "_cancelled", "_dispatched", "_queue")
 
     def __init__(self, time: float, priority: int, callback: EventCallback, label: str) -> None:
         self.time = time
@@ -57,6 +47,7 @@ class Event:
         self.label = label
         self._cancelled = False
         self._dispatched = False
+        self._queue: Optional["EventQueue"] = None
 
     @property
     def cancelled(self) -> bool:
@@ -72,7 +63,14 @@ class Event:
         """Cancel the event.  Returns ``False`` if it already ran."""
         if self._dispatched:
             return False
-        self._cancelled = True
+        if not self._cancelled:
+            self._cancelled = True
+            # Keep the owning queue's live count exact without scanning the
+            # heap: the entry itself is removed lazily at pop time.
+            queue = self._queue
+            if queue is not None:
+                queue._live -= 1
+                self._queue = None
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
@@ -80,42 +78,58 @@ class Event:
         return f"Event(t={self.time:.3f}, prio={self.priority}, label={self.label!r}, {state})"
 
 
+#: Heap entries are plain tuples ``(time, priority, sequence, event)``: tuple
+#: comparison happens in C, which matters because heap sift compares entries
+#: O(log n) times per push/pop on the simulator's hottest loop.
+_HeapEntry = Tuple[float, int, int, Event]
+
+
 class EventQueue:
-    """Binary-heap event queue with lazy cancellation."""
+    """Binary-heap event queue with lazy cancellation.
+
+    Ordering is ``(time, priority, insertion order)`` — identical to the
+    original dataclass-entry implementation, so two runs with the same seed
+    still dispatch events in exactly the same order.
+    """
 
     def __init__(self) -> None:
         self._heap: List[_HeapEntry] = []
-        self._counter = itertools.count()
+        self._next_sequence = 0
         self._live = 0
 
     def push(self, event: Event) -> None:
-        heapq.heappush(
-            self._heap,
-            _HeapEntry(event.time, event.priority, next(self._counter), event),
-        )
+        sequence = self._next_sequence
+        self._next_sequence = sequence + 1
+        heapq.heappush(self._heap, (event.time, event.priority, sequence, event))
+        event._queue = self
         self._live += 1
 
     def pop(self) -> Optional[Event]:
         """Pop the earliest non-cancelled event, or ``None`` if empty."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            if entry.event.cancelled:
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
+            if event._cancelled:
                 continue
+            event._queue = None
             self._live -= 1
-            return entry.event
+            return event
         self._live = 0
         return None
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest pending event without popping it."""
-        while self._heap and self._heap[0].event.cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][3]._cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def __len__(self) -> int:
-        return sum(1 for entry in self._heap if not entry.event.cancelled)
+        return self._live
 
     def clear(self) -> None:
+        for entry in self._heap:
+            entry[3]._queue = None
         self._heap.clear()
         self._live = 0
 
@@ -174,7 +188,7 @@ class SimulationEngine:
             raise SimulationError(
                 f"cannot schedule at {timestamp} which is before now={self.clock.now}"
             )
-        event = Event(timestamp, priority, callback, label)
+        event = Event(float(timestamp), priority, callback, label)
         self.queue.push(event)
         return event
 
@@ -201,20 +215,35 @@ class SimulationEngine:
         self._running = True
         self._stop_requested = False
         dispatched_before = self.dispatched_events
+        queue = self.queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        clock = self.clock
+        max_events = self.max_events
         try:
+            # Inline peek + pop over the queue's heap: one heap operation per
+            # dispatch instead of a peek/pop pair of method calls.
             while not self._stop_requested:
-                next_time = self.queue.peek_time()
-                if next_time is None:
+                while heap and heap[0][3]._cancelled:
+                    heappop(heap)
+                if not heap:
+                    queue._live = 0
                     break
-                if until is not None and next_time > until:
-                    self.clock.advance_to(until)
+                if until is not None and heap[0][0] > until:
+                    clock.advance_to(until)
                     break
-                if self.dispatched_events - dispatched_before >= self.max_events:
+                if self.dispatched_events - dispatched_before >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={self.max_events}; "
                         "likely a runaway event loop"
                     )
-                self.step()
+                event = heappop(heap)[3]
+                queue._live -= 1
+                event._queue = None
+                clock._now = event.time  # monotonic: heap order guarantees it
+                event._dispatched = True
+                self.dispatched_events += 1
+                event.callback(self)
         finally:
             self._running = False
         return self.dispatched_events - dispatched_before

@@ -141,6 +141,11 @@ class Network:
         self._adjacency: Dict[str, List[str]] = {}
         self._routes_dirty = True
         self._route_cache: Dict[Tuple[str, str], Optional[List[str]]] = {}
+        #: Strictly increasing counter bumped on every topology or node/link
+        #: state change; lets callers (the transport's fire-and-forget lane)
+        #: cache per-pair routing decisions and invalidate them exactly when
+        #: something that could affect routing changed.
+        self.topology_epoch = 0
 
     # -- construction ------------------------------------------------------
 
@@ -150,6 +155,7 @@ class Network:
         self._nodes[node.node_id] = node
         self._adjacency[node.node_id] = []
         self._routes_dirty = True
+        self.topology_epoch += 1
         return node
 
     def add_link(self, a: str, b: str, latency: LatencyModel) -> Link:
@@ -166,6 +172,7 @@ class Network:
         self._adjacency[a].append(b)
         self._adjacency[b].append(a)
         self._routes_dirty = True
+        self.topology_epoch += 1
         return link
 
     @staticmethod
@@ -214,10 +221,12 @@ class Network:
     def set_node_state(self, node_id: str, state: NodeState) -> None:
         self.node(node_id).state = state
         self._routes_dirty = True
+        self.topology_epoch += 1
 
     def set_link_state(self, a: str, b: str, up: bool) -> None:
         self.link(a, b).up = up
         self._routes_dirty = True
+        self.topology_epoch += 1
 
     def operational_nodes(self, kind: Optional[str] = None) -> List[NetworkNode]:
         return [n for n in self.nodes(kind) if n.is_operational]

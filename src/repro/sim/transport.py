@@ -104,6 +104,24 @@ class Transport:
         self._handlers: Dict[str, MessageHandler] = {}
         self._message_ids = itertools.count(1)
         self._partition_filter: Optional[Callable[[str, str], bool]] = None
+        # Message types whose delivery has no receiver-side effect (the
+        # protocol layer opts in via mark_fire_and_forget); see send().
+        self._fire_and_forget: set = set()
+        # Pre-bound counters/histograms: metrics.counter() is a dict probe per
+        # call and send() runs a hundred thousand times per large scenario.
+        self._c_sent = self.metrics.counter("transport.sent")
+        self._c_logical = self.metrics.counter("transport.logical_hops")
+        self._c_delivered = self.metrics.counter("transport.delivered")
+        self._c_retrans = self.metrics.counter("transport.retransmissions")
+        self._c_dropped = self.metrics.counter("transport.dropped")
+        self._h_physical = self.metrics.histogram("transport.physical_hops")
+        self._h_latency = self.metrics.histogram("transport.latency")
+        self._sent_by_type: Dict[str, Any] = {}
+        self._dropped_by_reason: Dict[str, Any] = {}
+        # (source, destination) -> (topology_epoch, direct-link latency model
+        # or None, multihop path / drop reason / None): the fire-and-forget
+        # lane's routing decision, valid until the network's epoch moves.
+        self._ff_cache: Dict[Tuple[str, str], tuple] = {}
 
     # -- endpoint registration ---------------------------------------------
 
@@ -127,6 +145,27 @@ class Transport:
         """
         self._partition_filter = predicate
 
+    def mark_fire_and_forget(self, *msg_types: str) -> None:
+        """Declare message types whose arrival has no receiver-side effect.
+
+        For such types (e.g. per-hop token transmissions, whose loss is
+        modelled by the kernel's retransmission counters, not by receiver
+        state) the transport accounts for the delivery at send time instead of
+        scheduling a per-message engine event: all counters, histograms and
+        RNG draws are identical, only the no-op dispatch is elided.  The fast
+        lane is bypassed while tracing is enabled, because the trace must show
+        each delivery at its simulated arrival time — golden-trace runs
+        therefore take the fully evented path and stay byte-identical.
+
+        The one observable difference is intentional and documented: a
+        fire-and-forget message to a destination that crashes while the
+        message is in flight counts as delivered rather than
+        ``dropped.destination-down-at-delivery``, since the fast lane cannot
+        see future node state.  No receiver logic exists for these types, so
+        protocol behaviour is unaffected.
+        """
+        self._fire_and_forget.update(msg_types)
+
     # -- sending -------------------------------------------------------------
 
     def send(
@@ -146,13 +185,17 @@ class Transport:
             destination=destination,
             msg_type=msg_type,
             payload=dict(payload or {}),
-            sent_at=self.engine.now,
+            sent_at=self.engine.clock.now,
             logical_hop=logical_hop,
         )
-        self.metrics.counter("transport.sent").increment()
-        self.metrics.counter(f"transport.sent.{msg_type}").increment()
+        self._c_sent.increment()
+        type_counter = self._sent_by_type.get(msg_type)
+        if type_counter is None:
+            type_counter = self.metrics.counter(f"transport.sent.{msg_type}")
+            self._sent_by_type[msg_type] = type_counter
+        type_counter.increment()
         if logical_hop and source != destination:
-            self.metrics.counter("transport.logical_hops").increment()
+            self._c_logical.increment()
 
         if source == destination:
             # Local delivery: no network traversal, immediate dispatch.
@@ -180,21 +223,155 @@ class Transport:
 
         max_attempts = 1 + (self.default_retries if retries is None else retries)
         delay = 0.0
-        for attempt in range(max_attempts):
-            delay += self.network.path_latency(path, self._rng)
-            if not self.network.path_loses(path, self._rng):
-                self._schedule_delivery(message, delay=delay, physical_hops=len(path) - 1)
-                return DeliveryReceipt(message, True, "scheduled", self.engine.now + delay)
-            self.metrics.counter("transport.retransmissions").increment()
-            delay += self.retry_backoff
+        rng = self._rng
+        if len(path) == 2:
+            # Direct link (the overwhelmingly common case on the minimal link
+            # graph): sample the one link's model without building per-hop
+            # lists.  Draw order matches path_latency + path_loses exactly.
+            latency = self.network.link(path[0], path[1]).latency
+            for _attempt in range(max_attempts):
+                delay += latency.sample_delay(rng)
+                if not latency.sample_loss(rng):
+                    return self._accept(message, delay, 1)
+                self._c_retrans.increment()
+                delay += self.retry_backoff
+        else:
+            for _attempt in range(max_attempts):
+                delay += self.network.path_latency(path, rng)
+                if not self.network.path_loses(path, rng):
+                    return self._accept(message, delay, len(path) - 1)
+                self._c_retrans.increment()
+                delay += self.retry_backoff
 
         self._drop(message, "lost-after-retries")
         return DeliveryReceipt(message, False, "lost-after-retries")
 
+    def _accept(self, message: Message, delay: float, physical_hops: int) -> DeliveryReceipt:
+        """Account for a transmission that will arrive ``delay`` from now."""
+        now = self.engine.clock.now
+        if message.msg_type in self._fire_and_forget and not self.trace.enabled:
+            # No receiver-side effect and no trace to order: account for the
+            # delivery immediately instead of scheduling a no-op engine event.
+            self._h_physical.observe(physical_hops)
+            self._c_delivered.increment()
+            self._h_latency.observe(delay)
+            return DeliveryReceipt(message, True, "scheduled", now + delay)
+        self._schedule_delivery(message, delay=delay, physical_hops=physical_hops)
+        return DeliveryReceipt(message, True, "scheduled", now + delay)
+
+    def send_fire_and_forget(self, source: str, destination: str, msg_type: str) -> None:
+        """Slim send for empty-payload messages with no receiver-side effect.
+
+        Counter, histogram and RNG behaviour are identical to
+        :meth:`send`; the :class:`Message`/:class:`DeliveryReceipt` objects
+        and the per-message delivery event are elided.  While tracing is
+        enabled — or for types not marked fire-and-forget — this defers to
+        the fully evented :meth:`send` so traces stay byte-identical.
+        """
+        if self.trace.enabled or msg_type not in self._fire_and_forget:
+            self.send(source, destination, msg_type, {})
+            return
+        next(self._message_ids)  # keep message ids aligned with the slow lane
+        # Counters/histograms are this class's own types: bump their storage
+        # directly rather than paying a method call per field per message.
+        self._c_sent._value += 1
+        type_counter = self._sent_by_type.get(msg_type)
+        if type_counter is None:
+            type_counter = self.metrics.counter(f"transport.sent.{msg_type}")
+            self._sent_by_type[msg_type] = type_counter
+        type_counter._value += 1
+        if source != destination:
+            self._c_logical._value += 1
+        else:
+            # Local delivery: immediate, lossless.
+            self._h_physical._samples.append(0.0)
+            self._c_delivered._value += 1
+            self._h_latency._samples.append(0.0)
+            return
+
+        network = self.network
+        epoch = network.topology_epoch
+        key = (source, destination)
+        cached = self._ff_cache.get(key)
+        if cached is None or cached[0] != epoch:
+            # Resolve once per (pair, topology epoch): node states and link
+            # states can only change together with an epoch bump.
+            if not network.node(source).is_operational:
+                cached = (epoch, None, "source-not-operational")
+            elif network.node(destination).state is NodeState.FAILED:
+                cached = (epoch, None, "destination-failed")
+            else:
+                path = network.path(source, destination)
+                if path is None:
+                    cached = (epoch, None, "no-path")
+                elif len(path) == 2:
+                    cached = (epoch, network.link(path[0], path[1]).latency, None)
+                else:
+                    cached = (epoch, None, path)
+            self._ff_cache[key] = cached
+        latency = cached[1]
+        tail = cached[2]
+        # Drop-reason priority matches send(): source-not-operational first,
+        # then the (always live) partition filter, then the rest.
+        if tail == "source-not-operational":
+            self._drop_untracked(tail)
+            return
+        if self._partition_filter is not None and self._partition_filter(source, destination):
+            self._drop_untracked("partitioned")
+            return
+
+        rng = self._rng
+        max_attempts = 1 + self.default_retries
+        delay = 0.0
+        if latency is not None:
+            mean, std, min_delay, loss = (
+                latency.mean, latency.std, latency.min_delay, latency.loss,
+            )
+            for _attempt in range(max_attempts):
+                # Inlined LatencyModel.sample_delay / sample_loss: identical
+                # draws in identical order.
+                if std == 0.0:
+                    sample = mean if mean > min_delay else min_delay
+                else:
+                    sample = rng.normal(mean, std)
+                    sample = float(sample) if sample > min_delay else min_delay
+                delay += sample
+                if loss == 0.0 or not rng.random() < loss:
+                    self._h_physical._samples.append(1.0)
+                    self._c_delivered._value += 1
+                    self._h_latency._samples.append(float(delay))
+                    return
+                self._c_retrans._value += 1
+                delay += self.retry_backoff
+        elif isinstance(tail, str):
+            self._drop_untracked(tail)
+            return
+        else:
+            path = tail
+            for _attempt in range(max_attempts):
+                delay += network.path_latency(path, rng)
+                if not network.path_loses(path, rng):
+                    self._h_physical._samples.append(float(len(path) - 1))
+                    self._c_delivered._value += 1
+                    self._h_latency._samples.append(float(delay))
+                    return
+                self._c_retrans._value += 1
+                delay += self.retry_backoff
+        self._drop_untracked("lost-after-retries")
+
+    def _drop_untracked(self, reason: str) -> None:
+        """Drop accounting for the fire-and-forget lane (trace is disabled)."""
+        self._c_dropped.increment()
+        reason_counter = self._dropped_by_reason.get(reason)
+        if reason_counter is None:
+            reason_counter = self.metrics.counter(f"transport.dropped.{reason}")
+            self._dropped_by_reason[reason] = reason_counter
+        reason_counter.increment()
+
     # -- delivery -------------------------------------------------------------
 
     def _schedule_delivery(self, message: Message, delay: float, physical_hops: int) -> None:
-        self.metrics.histogram("transport.physical_hops").observe(physical_hops)
+        self._h_physical.observe(physical_hops)
 
         def deliver(_engine: SimulationEngine) -> None:
             destination_node = self.network.node(message.destination)
@@ -205,15 +382,17 @@ class Transport:
             if handler is None:
                 self._drop(message, "no-handler")
                 return
-            self.metrics.counter("transport.delivered").increment()
-            self.metrics.histogram("transport.latency").observe(self.engine.now - message.sent_at)
-            self.trace.record(
-                self.engine.now,
-                "deliver",
-                message.destination,
-                f"{message.msg_type} from {message.source}",
-                message_id=message.message_id,
-            )
+            self._c_delivered.increment()
+            now = self.engine.clock.now
+            self._h_latency.observe(now - message.sent_at)
+            if self.trace.enabled:
+                self.trace.record(
+                    now,
+                    "deliver",
+                    message.destination,
+                    f"{message.msg_type} from {message.source}",
+                    message_id=message.message_id,
+                )
             handler(message)
 
         self.engine.schedule(delay, deliver, label=f"deliver:{message.msg_type}")

@@ -1,0 +1,233 @@
+"""Parallel scenario-matrix execution.
+
+Shards the cells of a :class:`repro.workloads.matrix.ScenarioMatrix` (or
+:class:`repro.workloads.matrix.AblationSweep`) across a ``multiprocessing``
+pool.  The design leans entirely on the determinism contract of the cell
+runner:
+
+* **Per-cell seeding.**  Every stochastic component of a cell draws from
+  :class:`repro.sim.rng.RandomStreams` streams derived from
+  ``(cell.seed, stream name)``.  No module-level RNG or process-global
+  counter feeds a cell (the last such leak — the module-level token-id
+  counter in :mod:`repro.core.token` — was removed when this runner landed),
+  so a cell's :class:`repro.sim.stats.RunRecord` does not depend on which
+  worker runs it, in which order, or whether any pool is involved at all:
+  ``run_cells(jobs=4)`` is bit-identical to ``run_cells(jobs=1)`` up to
+  wall-clock fields (property-tested in ``tests/test_parallel_matrix.py``).
+* **Worker-side serialisation.**  Workers return plain dataclasses
+  (:class:`repro.workloads.matrix.CellResult` carrying a ``RunRecord``) that
+  pickle cleanly; the live harness never crosses the process boundary.
+* **Failure isolation.**  A crashing cell is captured as a
+  :class:`CellFailure` (with its traceback) and the remaining cells keep
+  running; the caller decides whether a partial sweep is acceptable.
+
+CLI::
+
+    PYTHONPATH=src python -m repro.workloads.matrix --sizes 1000 --jobs 4
+    PYTHONPATH=src python benchmarks/run_bench.py --matrix --jobs 4
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.sim.stats import RunRecord
+from repro.workloads.matrix import (
+    AblationSweep,
+    CellResult,
+    MatrixCell,
+    ScenarioMatrix,
+    run_ablation_cell,
+    run_matrix_cell,
+)
+
+#: RunRecord value keys that legitimately differ between two runs of the same
+#: cell (wall-clock measurements); everything else must match bit-for-bit.
+NONDETERMINISTIC_VALUE_KEYS = frozenset(
+    {"wall_seconds", "build_seconds", "events_per_second"}
+)
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A cell whose worker raised instead of returning a result."""
+
+    cell: MatrixCell
+    error: str
+    traceback: str
+
+
+@dataclass
+class ParallelRunReport:
+    """Outcome of a (possibly parallel) sweep over matrix cells."""
+
+    results: List[CellResult] = field(default_factory=list)
+    failures: List[CellFailure] = field(default_factory=list)
+    jobs: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def records(self) -> List[RunRecord]:
+        return [r.record for r in self.results]
+
+    def raise_if_failed(self) -> None:
+        if self.failures:
+            first = self.failures[0]
+            raise RuntimeError(
+                f"{len(self.failures)} matrix cell(s) failed; first: "
+                f"{first.cell.label}: {first.error}\n{first.traceback}"
+            )
+
+
+def record_fingerprint(record: RunRecord) -> Dict[str, object]:
+    """Canonical, comparison-ready form of a :class:`RunRecord`.
+
+    Drops the wall-clock value keys (the only fields allowed to differ
+    between a sequential and a parallel run of the same cell) and sorts
+    everything else, so two fingerprints are equal iff the runs were
+    bit-identical in converged state, cost totals and counters.
+    """
+    return {
+        "name": record.name,
+        "params": dict(sorted(record.params.items())),
+        "values": {
+            key: value
+            for key, value in sorted(record.values.items())
+            if key not in NONDETERMINISTIC_VALUE_KEYS
+        },
+        "counters": dict(sorted(record.counters.items())),
+    }
+
+
+def result_fingerprint(result: CellResult) -> Dict[str, object]:
+    """Fingerprint of a full :class:`CellResult` (record + cell outcome)."""
+    return {
+        "cell": result.cell.label,
+        "record": record_fingerprint(result.record),
+        "workload_events": result.workload_events,
+        "dispatched_events": result.dispatched_events,
+        "converged": result.converged,
+        "ring_agreement": result.ring_agreement,
+        "membership": result.membership,
+    }
+
+
+#: Worker payload: (cell, events per cell, use the sequential ablation replay).
+_WorkerPayload = Tuple[MatrixCell, int, bool]
+_WorkerOutcome = Tuple[str, Union[CellResult, CellFailure]]
+
+
+def _run_cell_worker(payload: _WorkerPayload) -> _WorkerOutcome:
+    """Run one cell in a pool worker; never raises (failure isolation)."""
+    cell, events, ablation = payload
+    try:
+        if ablation:
+            result = run_ablation_cell(cell, events=events)
+        else:
+            result = run_matrix_cell(cell, events=events)
+        return ("ok", result)
+    except BaseException as exc:  # noqa: BLE001 - isolate *any* cell crash
+        return (
+            "error",
+            CellFailure(cell=cell, error=repr(exc), traceback=traceback.format_exc()),
+        )
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap workers); spawn otherwise.
+
+    Determinism must not depend on the start method: fork is the *harder*
+    case (workers inherit the parent's full module state mid-run), and the
+    equivalence property suite runs under it on Linux.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_cells(
+    cells: Sequence[MatrixCell],
+    events: int = 24,
+    jobs: int = 1,
+    ablation: bool = False,
+    progress: bool = False,
+) -> ParallelRunReport:
+    """Run ``cells`` with ``jobs`` worker processes (1 = in-process, no pool).
+
+    Results come back in input order regardless of completion order, so a
+    parallel sweep serialises to exactly the same report as a sequential one.
+    """
+    if events < 1:
+        raise ValueError(f"events must be >= 1, got {events}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    start = time.perf_counter()
+    payloads: List[_WorkerPayload] = [(cell, events, ablation) for cell in cells]
+    jobs = min(jobs, max(1, len(payloads)))
+
+    report = ParallelRunReport(jobs=jobs)
+    if jobs == 1:
+        _collect(report, map(_run_cell_worker, payloads), progress)
+    else:
+        context = _pool_context()
+        pool = context.Pool(processes=jobs)
+        try:
+            # imap (not imap_unordered): input-order results, streamed so the
+            # progress line appears as each cell completes.
+            _collect(report, pool.imap(_run_cell_worker, payloads, chunksize=1), progress)
+        finally:
+            pool.close()
+            pool.join()
+    report.wall_seconds = time.perf_counter() - start
+    return report
+
+
+def _collect(
+    report: ParallelRunReport, outcomes: Iterable[_WorkerOutcome], progress: bool
+) -> None:
+    for status, value in outcomes:
+        if status == "ok":
+            report.results.append(value)
+            if progress:
+                state = "ok" if (value.converged and value.ring_agreement) else "INCOMPLETE"
+                print(
+                    f"{value.cell.label:<52} {value.wall_seconds:7.2f}s "
+                    f"{value.dispatched_events:>8} events  {state}",
+                    flush=True,
+                )
+        else:
+            report.failures.append(value)
+            if progress:
+                print(f"{value.cell.label:<52} FAILED: {value.error}", flush=True)
+
+
+def run_matrix(
+    matrix: ScenarioMatrix, jobs: int = 1, progress: bool = False
+) -> ParallelRunReport:
+    """Sweep a :class:`ScenarioMatrix`, sharding cells across ``jobs`` workers."""
+    return run_cells(
+        matrix.cells(),
+        events=matrix.events_per_cell,
+        jobs=jobs,
+        ablation=False,
+        progress=progress,
+    )
+
+
+def run_ablation(
+    sweep: AblationSweep, jobs: int = 1, progress: bool = False
+) -> ParallelRunReport:
+    """Sweep an :class:`AblationSweep` through the pool (sequential replay per cell)."""
+    return run_cells(
+        sweep.cells(),
+        events=sweep.events_per_cell,
+        jobs=jobs,
+        ablation=True,
+        progress=progress,
+    )

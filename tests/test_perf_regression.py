@@ -1,0 +1,107 @@
+"""Perf-regression smoke test: the small bench tier must stay in its bands.
+
+Runs the ``small`` tier of ``benchmarks/perf.py`` (sub-second micro/macro
+benches) and fails when any named bench exceeds its ``perf_baseline.json``
+tolerance band.  Bands are deliberately generous (3-5x the reference-machine
+seconds) so only egregious regressions — an accidentally quadratic loop, a
+dropped cache — trip the suite, not CI hardware variance.  The full tier
+(10k churn cell, 1M-proxy propagation) runs in the scheduled slow CI job.
+
+The test also exercises the ``BENCH_perf.json`` reporting path that the CI
+artifact upload consumes.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def perf():
+    import sys
+
+    spec = importlib.util.spec_from_file_location("repro_perf", BENCHMARKS_DIR / "perf.py")
+    module = importlib.util.module_from_spec(spec)
+    # Dataclass field resolution looks the module up in sys.modules.
+    sys.modules["repro_perf"] = module
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        sys.modules.pop("repro_perf", None)
+        raise
+    return module
+
+
+@pytest.fixture(scope="module")
+def small_tier_results(perf):
+    # repeats=1 keeps the smoke test fast; bands absorb the extra noise.
+    return perf.run_benches(perf.SMALL, repeats=1, progress=False)
+
+
+def test_small_tier_covers_all_registered_small_benches(perf, small_tier_results):
+    assert {r.name for r in small_tier_results} == set(perf.bench_names(perf.SMALL))
+    assert {r.name for r in small_tier_results} >= {
+        "ring_successor_10k",
+        "engine_dispatch_50k",
+        "delta_compile_apply",
+        "kernel_propagate_4k",
+        "matrix_churn_1k",
+    }
+
+
+def test_small_tier_within_baseline_bands(perf, small_tier_results):
+    baseline = perf.load_baseline()
+    assert baseline["benches"], "perf_baseline.json must ship with recorded bands"
+    violations = perf.check_against_baseline(small_tier_results, baseline)
+    assert not violations, "perf regression:\n" + "\n".join(violations)
+
+
+def test_every_small_bench_has_a_band(perf, small_tier_results):
+    """A new bench without a recorded band would silently never regress."""
+    bands = perf.load_baseline()["benches"]
+    missing = [r.name for r in small_tier_results if r.name not in bands]
+    assert not missing, f"benches without baseline bands: {missing}"
+
+
+def test_bench_report_written_for_artifact_upload(perf, small_tier_results, tmp_path):
+    baseline = perf.load_baseline()
+    out = tmp_path / "BENCH_perf.json"
+    payload = perf.write_report(
+        small_tier_results,
+        baseline,
+        perf.check_against_baseline(small_tier_results, baseline),
+        out_path=out,
+    )
+    on_disk = json.loads(out.read_text())
+    assert on_disk == payload
+    assert on_disk["baseline"]["ok"] is True
+    for result in small_tier_results:
+        entry = on_disk["results"][result.name]
+        assert entry["seconds"] == pytest.approx(result.seconds, abs=1e-4)
+        assert entry["tier"] == "small"
+
+
+def test_band_check_flags_slow_benches(perf):
+    result = perf.BenchResult(name="matrix_churn_1k", tier="small", seconds=1e9, repeats=1)
+    violations = perf.check_against_baseline([result], perf.load_baseline())
+    assert len(violations) == 1
+    assert "matrix_churn_1k" in violations[0]
+
+
+def test_update_baseline_repins_bands(perf, tmp_path):
+    path = tmp_path / "perf_baseline.json"
+    path.write_text(json.dumps({"benches": {"x": {"seconds": 1.0, "tolerance": 2.5}}}))
+    results = [
+        perf.BenchResult(name="x", tier="small", seconds=0.5, repeats=1),
+        perf.BenchResult(name="y", tier="small", seconds=0.25, repeats=1),
+    ]
+    perf.update_baseline(results, json.loads(path.read_text()), path=path)
+    updated = json.loads(path.read_text())["benches"]
+    assert updated["x"] == {"seconds": 0.5, "tolerance": 2.5}
+    assert updated["y"] == {"seconds": 0.25, "tolerance": 3.0}
