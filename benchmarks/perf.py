@@ -51,23 +51,48 @@ FULL = "full"
 
 @dataclass
 class BenchResult:
-    """One bench's measurement: primary seconds plus free-form extras."""
+    """One bench's measurement: primary seconds, build/memory metrics, extras.
+
+    ``build_seconds`` is the bench's construction phase (0.0 for benches with
+    no separate build); ``peak_rss_mb`` is ``resource.ru_maxrss`` of the
+    measuring process, which is why the CLI isolates each bench in its own
+    subprocess — in-process runs report the interpreter-wide peak instead.
+    """
 
     name: str
     tier: str
     seconds: float
     repeats: int
+    build_seconds: float = 0.0
+    peak_rss_mb: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
 
     def to_json(self) -> Dict[str, object]:
         payload: Dict[str, object] = {
             "tier": self.tier,
             "seconds": round(self.seconds, 4),
+            "build_seconds": round(self.build_seconds, 4),
+            "peak_rss_mb": round(self.peak_rss_mb, 1),
             "repeats": self.repeats,
+            # Recorded per entry because partial runs merge into the existing
+            # BENCH_perf.json: carried-over entries keep the environment they
+            # were actually measured on.
+            "python": platform.python_version(),
+            "platform": platform.platform(),
         }
         if self.extra:
             payload["extra"] = {k: round(v, 4) for k, v in sorted(self.extra.items())}
         return payload
+
+
+def _peak_rss_mb() -> float:
+    """Peak RSS of this process in MB (``ru_maxrss`` is KB on Linux)."""
+    import resource
+
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # bytes on macOS
+        return rss / (1024.0 * 1024.0)
+    return rss / 1024.0
 
 
 BenchFn = Callable[[], Tuple[float, Dict[str, float]]]
@@ -105,8 +130,10 @@ def _bench_ring_successor() -> Tuple[float, Dict[str, float]]:
     from repro.core.identifiers import NodeId
     from repro.core.ring import LogicalRing
 
+    build_start = time.perf_counter()
     members = [NodeId(f"ap-{i:05d}") for i in range(10_000)]
     ring = LogicalRing(ring_id="bench", tier=1, members=list(members))
+    build_seconds = time.perf_counter() - build_start
     probes = [members[(i * 37) % len(members)] for i in range(1_000)]
     start = time.perf_counter()
     for _round in range(50):
@@ -114,7 +141,7 @@ def _bench_ring_successor() -> Tuple[float, Dict[str, float]]:
             ring.successor(node)
             ring.predecessor(node)
     elapsed = time.perf_counter() - start
-    return elapsed, {"lookups": 100_000.0}
+    return elapsed, {"lookups": 100_000.0, "build_seconds": build_seconds}
 
 
 @bench("engine_dispatch_50k", SMALL)
@@ -144,8 +171,10 @@ def _bench_delta() -> Tuple[float, Dict[str, float]]:
     from repro.core.hierarchy import HierarchyBuilder
     from repro.core.membership import MembershipView
 
+    build_start = time.perf_counter()
     hierarchy = HierarchyBuilder("bench").regular(ring_size=4, height=2)
     kernel = TokenRoundKernel(hierarchy)
+    build_seconds = time.perf_counter() - build_start
     aps = hierarchy.access_proxies()
     ops = [
         kernel.make_join_op(aps[i % len(aps)], f"member-{i:04d}") for i in range(512)
@@ -160,7 +189,7 @@ def _bench_delta() -> Tuple[float, Dict[str, float]]:
         view.apply_delta(delta, 0.0)
     elapsed = time.perf_counter() - start
     assert all(len(view) == 512 for view in views)
-    return elapsed, {"operations": 512.0, "views": 64.0}
+    return elapsed, {"operations": 512.0, "views": 64.0, "build_seconds": build_seconds}
 
 
 @bench("kernel_propagate_4k", SMALL)
@@ -170,8 +199,10 @@ def _bench_kernel_4k() -> Tuple[float, Dict[str, float]]:
     from repro.core.hierarchy import HierarchyBuilder
     from repro.core.one_round import OneRoundEngine
 
+    build_start = time.perf_counter()
     hierarchy = HierarchyBuilder("bench").regular(ring_size=8, height=4)
     engine = OneRoundEngine(hierarchy, config=ProtocolConfig(aggregation_delay=0.0))
+    build_seconds = time.perf_counter() - build_start
     aps = hierarchy.access_proxies()
     stride = max(1, len(aps) // 32)
     for index in range(32):
@@ -182,6 +213,7 @@ def _bench_kernel_4k() -> Tuple[float, Dict[str, float]]:
     return elapsed, {
         "rounds": float(report.round_count),
         "hop_count": float(report.hop_count),
+        "build_seconds": build_seconds,
     }
 
 
@@ -222,14 +254,20 @@ def _bench_large_scale_1m() -> Tuple[float, Dict[str, float]]:
 
     The dirty-ring pending set is what makes this tractable: the seed's
     ``pending_rings`` scanned all 111 111 rings x 10 members per sweep.
+    ``build_seconds`` measures the bulk construction path (hierarchy +
+    entity states + kernel wiring) under the library's own
+    :func:`repro.core.hierarchy.paused_gc` — the way every at-scale caller
+    (matrix cells included) runs construction; propagation runs with the
+    default collector state.
     """
     from repro.core.config import ProtocolConfig
-    from repro.core.hierarchy import HierarchyBuilder
+    from repro.core.hierarchy import HierarchyBuilder, paused_gc
     from repro.core.one_round import OneRoundEngine
 
     build_start = time.perf_counter()
-    hierarchy = HierarchyBuilder("bench").regular(ring_size=10, height=6)
-    engine = OneRoundEngine(hierarchy, config=ProtocolConfig(aggregation_delay=0.0))
+    with paused_gc():
+        hierarchy = HierarchyBuilder("bench").regular(ring_size=10, height=6)
+        engine = OneRoundEngine(hierarchy, config=ProtocolConfig(aggregation_delay=0.0))
     build_seconds = time.perf_counter() - build_start
     aps = hierarchy.access_proxies()
     for index in range(4):
@@ -251,48 +289,79 @@ def _bench_large_scale_1m() -> Tuple[float, Dict[str, float]]:
 # ----------------------------------------------------------------------
 
 
-def run_one(name: str, repeats: int = 3) -> BenchResult:
-    """Run a single named bench in-process (best-of-``repeats``)."""
+def run_one(name: str, repeats: int = 3, measure_rss: bool = True) -> BenchResult:
+    """Run a single named bench in-process (best-of-``repeats``).
+
+    ``build_seconds`` is lifted out of the bench's extras (best-of across
+    repeats, like the primary metric).  ``peak_rss_mb`` is only meaningful
+    when this process ran just this bench (the ``--run-one`` isolation
+    worker); in-process multi-bench runs pass ``measure_rss=False`` and
+    report 0, which the band check treats as "not measured".
+    """
     for bench_name, bench_tier, pinned_repeats, fn in _REGISTRY:
         if bench_name != name:
             continue
         bench_repeats = pinned_repeats if pinned_repeats is not None else repeats
         best: Optional[float] = None
+        best_build: Optional[float] = None
         extra: Dict[str, float] = {}
         for _attempt in range(bench_repeats):
             seconds, extra = fn()
+            extra = dict(extra)
+            build = extra.pop("build_seconds", 0.0)
             best = seconds if best is None or seconds < best else best
+            best_build = build if best_build is None or build < best_build else best_build
         return BenchResult(
             name=name, tier=bench_tier, seconds=float(best), repeats=bench_repeats,
+            build_seconds=float(best_build),
+            peak_rss_mb=_peak_rss_mb() if measure_rss else 0.0,
             extra=extra,
         )
     raise KeyError(f"unknown bench {name!r} (have {bench_names()})")
 
 
 def run_benches(
-    tier: str, repeats: int = 3, progress: bool = True, isolate: bool = False
+    tier: str,
+    repeats: int = 3,
+    progress: bool = True,
+    isolate: bool = False,
+    only: Optional[List[str]] = None,
 ) -> List[BenchResult]:
     """Run the selected tier(s); each bench reports its best-of-``repeats``
     (benches registered with a pinned repeat count keep it).
 
     ``isolate=True`` runs every bench in a fresh subprocess — heap growth
     and allocator fragmentation left behind by one bench measurably inflate
-    the next (~10% on the 10k churn cell), so the CLI isolates by default;
-    the in-process path stays for the perf-regression smoke test, whose
-    bands absorb the difference.
+    the next (~10% on the 10k churn cell), and it is what makes
+    ``peak_rss_mb`` a per-bench measurement — so the CLI isolates by
+    default; the in-process path stays for the perf-regression smoke test,
+    whose bands absorb the difference.
+
+    ``only`` restricts the run to the named benches (any tier), so a single
+    bench — e.g. ``large_scale_1m`` — can be re-measured or re-baselined
+    without paying for the whole suite.
     """
+    if only:
+        known = set(bench_names())
+        unknown = [n for n in only if n not in known]
+        if unknown:
+            raise KeyError(f"unknown bench(es) {unknown} (have {sorted(known)})")
     results: List[BenchResult] = []
     for name, bench_tier, _pinned, _fn in _REGISTRY:
-        if tier != "all" and bench_tier != tier:
+        if only:
+            if name not in only:
+                continue
+        elif tier != "all" and bench_tier != tier:
             continue
         if isolate:
             result = _run_isolated(name, repeats)
         else:
-            result = run_one(name, repeats)
+            result = run_one(name, repeats, measure_rss=False)
         results.append(result)
         if progress:
             print(
                 f"{result.name:<24} [{result.tier:>5}] {result.seconds:9.3f}s  "
+                f"build {result.build_seconds:7.3f}s  rss {result.peak_rss_mb:7.1f}MB  "
                 f"(best of {result.repeats})",
                 flush=True,
             )
@@ -316,6 +385,8 @@ def _run_isolated(name: str, repeats: int) -> BenchResult:
         tier=payload["tier"],
         seconds=float(payload["seconds"]),
         repeats=int(payload["repeats"]),
+        build_seconds=float(payload.get("build_seconds", 0.0)),
+        peak_rss_mb=float(payload.get("peak_rss_mb", 0.0)),
         extra={k: float(v) for k, v in payload.get("extra", {}).items()},
     )
 
@@ -329,7 +400,13 @@ def load_baseline(path: Path = BASELINE_PATH) -> Dict[str, object]:
 def check_against_baseline(
     results: List[BenchResult], baseline: Dict[str, object]
 ) -> List[str]:
-    """Violation strings for benches outside their tolerance band (empty = ok)."""
+    """Violation strings for benches outside their tolerance bands (empty = ok).
+
+    Three independent bands per bench, each optional in the baseline entry:
+    ``seconds`` × ``tolerance``, ``build_seconds`` × ``build_tolerance`` and
+    ``peak_rss_mb`` × ``rss_tolerance`` (memory needs the tightest band —
+    RSS is far less machine-sensitive than wall time).
+    """
     bands: Dict[str, Dict[str, float]] = baseline.get("benches", {})  # type: ignore[assignment]
     violations: List[str] = []
     for result in results:
@@ -342,6 +419,27 @@ def check_against_baseline(
                 f"{result.name}: {result.seconds:.3f}s exceeds band "
                 f"{band['seconds']}s x {band.get('tolerance', 3.0)} = {limit:.3f}s"
             )
+        build_band = band.get("build_seconds")
+        if build_band is not None:
+            # Absolute floor: millisecond-scale build phases are scheduler
+            # noise, not signal — a multiplicative band on 7 ms flakes under
+            # any load.  Only regressions past max(band, 50 ms) can trip.
+            build_limit = max(
+                float(build_band) * float(band.get("build_tolerance", 3.0)), 0.05
+            )
+            if result.build_seconds > build_limit:
+                violations.append(
+                    f"{result.name}: build {result.build_seconds:.3f}s exceeds band "
+                    f"{build_band}s x {band.get('build_tolerance', 3.0)} = {build_limit:.3f}s"
+                )
+        rss_band = band.get("peak_rss_mb")
+        if rss_band is not None and result.peak_rss_mb > 0:
+            rss_limit = float(rss_band) * float(band.get("rss_tolerance", 1.5))
+            if result.peak_rss_mb > rss_limit:
+                violations.append(
+                    f"{result.name}: peak RSS {result.peak_rss_mb:.1f}MB exceeds band "
+                    f"{rss_band}MB x {band.get('rss_tolerance', 1.5)} = {rss_limit:.1f}MB"
+                )
     return violations
 
 
@@ -366,12 +464,32 @@ def write_report(
     violations: List[str],
     out_path: Path = OUTPUT_PATH,
 ) -> Dict[str, object]:
+    """Write ``BENCH_perf.json``, merging over an existing report.
+
+    Partial runs (``--tier small``, ``--only <bench>``) update just their own
+    entries so the archived artifact keeps the latest measurement of every
+    bench; ``violations``/``ok`` describe the benches of *this* run.
+    """
+    merged: Dict[str, object] = {}
+    merged_speedups: Dict[str, float] = {}
+    if out_path.exists():
+        try:
+            previous = json.loads(out_path.read_text())
+            merged = dict(previous.get("results", {}))
+            merged_speedups = dict(previous.get("speedups", {}))
+        except (json.JSONDecodeError, AttributeError):
+            merged, merged_speedups = {}, {}
+    # Drop entries for benches that no longer exist, then merge this run.
+    known = set(bench_names())
+    merged = {name: entry for name, entry in merged.items() if name in known}
+    merged.update({r.name: r.to_json() for r in results})
+    merged_speedups.update(speedup_summary(results, baseline))
     payload: Dict[str, object] = {
         "benchmark": "named perf benches (see docs/PERF.md)",
         "python": platform.python_version(),
         "platform": platform.platform(),
-        "results": {r.name: r.to_json() for r in results},
-        "speedups": speedup_summary(results, baseline),
+        "results": merged,
+        "speedups": merged_speedups,
         "baseline": {
             "path": str(BASELINE_PATH.name),
             "violations": violations,
@@ -387,14 +505,36 @@ def update_baseline(
     baseline: Dict[str, object],
     path: Path = BASELINE_PATH,
 ) -> None:
-    """Re-pin the bands to the current measurements (tolerances preserved)."""
+    """Re-pin the bands to the current measurements (tolerances preserved).
+
+    Only the benches that actually ran are re-pinned (so ``--only <bench>
+    --update-baseline`` touches one entry); build/memory bands are recorded
+    whenever the bench reported them.
+    """
     bands: Dict[str, Dict[str, object]] = dict(baseline.get("benches", {}))  # type: ignore[arg-type]
     for result in results:
         previous = bands.get(result.name, {})
-        bands[result.name] = {
+        band: Dict[str, object] = {
             "seconds": round(result.seconds, 4),
             "tolerance": previous.get("tolerance", 3.0),
         }
+        if result.build_seconds > 0:
+            band["build_seconds"] = round(result.build_seconds, 4)
+            band["build_tolerance"] = previous.get("build_tolerance", 3.0)
+        elif "build_seconds" in previous:
+            # This run had no build phase to measure; keep the recorded band
+            # rather than silently deleting the protection.
+            band["build_seconds"] = previous["build_seconds"]
+            band["build_tolerance"] = previous.get("build_tolerance", 3.0)
+        if result.peak_rss_mb > 0:
+            band["peak_rss_mb"] = round(result.peak_rss_mb, 1)
+            band["rss_tolerance"] = previous.get("rss_tolerance", 1.5)
+        elif "peak_rss_mb" in previous:
+            # peak_rss_mb=0 means "not measured" (in-process --no-isolate
+            # run), not "no memory": preserve the existing memory band.
+            band["peak_rss_mb"] = previous["peak_rss_mb"]
+            band["rss_tolerance"] = previous.get("rss_tolerance", 1.5)
+        bands[result.name] = band
     baseline = dict(baseline)
     baseline["benches"] = bands
     path.write_text(json.dumps(baseline, indent=2) + "\n")
@@ -421,6 +561,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="run a single bench and print its JSON result (isolation worker)",
     )
+    parser.add_argument(
+        "--only",
+        metavar="NAME",
+        action="append",
+        default=None,
+        help="run only the named bench (repeatable; overrides --tier), e.g. "
+        "--only large_scale_1m --update-baseline to re-pin one band",
+    )
     args = parser.parse_args(argv)
     if args.repeat < 1:
         parser.error(f"--repeat must be >= 1, got {args.repeat}")
@@ -431,7 +579,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     baseline = load_baseline()
-    results = run_benches(args.tier, repeats=args.repeat, isolate=not args.no_isolate)
+    results = run_benches(
+        args.tier, repeats=args.repeat, isolate=not args.no_isolate, only=args.only
+    )
     violations = check_against_baseline(results, baseline)
     payload = write_report(results, baseline, violations, out_path=args.out)
     print(f"wrote {args.out}")

@@ -17,11 +17,18 @@ flat ring, gossip, tree) and archives the head-to-head per-change costs —
 hops, on-the-wire messages, convergence rounds, wall time — in
 ``BENCH_ablation.json``, alongside the paper's closed-form HCN values.
 
+With ``--perf``, runs the named perf-bench tier (``benchmarks/perf.py``)
+through this entry point, including bench-name filtering (``--only``) and
+baseline re-pinning (``--update-baseline``) — so a single bench can be
+re-measured or re-baselined without the full suite.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--joins N] [--out PATH]
     PYTHONPATH=src python benchmarks/run_bench.py --matrix [--matrix-sizes 1000 10000]
     PYTHONPATH=src python benchmarks/run_bench.py --ablation [--ablation-sizes 1000 10000]
+    PYTHONPATH=src python benchmarks/run_bench.py --perf --perf-tier small
+    PYTHONPATH=src python benchmarks/run_bench.py --perf --only large_scale_1m --update-baseline
 """
 
 from __future__ import annotations
@@ -237,11 +244,53 @@ def main(argv=None) -> int:
         help="worker processes for --matrix/--ablation sweeps "
         "(cell results are bit-identical to --jobs 1)",
     )
+    parser.add_argument(
+        "--perf",
+        action="store_true",
+        help="run the named perf-bench tier (benchmarks/perf.py) instead of "
+        "the kernel benchmark",
+    )
+    parser.add_argument(
+        "--perf-tier",
+        choices=["small", "full", "all"],
+        default="small",
+        help="perf tier for --perf",
+    )
+    parser.add_argument(
+        "--only",
+        metavar="NAME",
+        action="append",
+        default=None,
+        help="with --perf: run only the named bench (repeatable, overrides "
+        "--perf-tier)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="with --perf: re-pin perf_baseline.json bands to the benches "
+        "that ran (works together with --only — no full-suite run needed)",
+    )
     args = parser.parse_args(argv)
     if args.joins < 1:
         parser.error(f"--joins must be >= 1, got {args.joins}")
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if (args.only or args.update_baseline) and not args.perf:
+        parser.error("--only/--update-baseline require --perf")
+    if args.perf and (args.matrix or args.ablation):
+        parser.error("--perf cannot be combined with --matrix/--ablation")
+
+    if args.perf:
+        # Delegate to benchmarks/perf.py in-process (same directory).
+        sys.path.insert(0, str(Path(__file__).resolve().parent))
+        import perf
+
+        perf_argv = ["--tier", args.perf_tier]
+        for name in args.only or ():
+            perf_argv += ["--only", name]
+        if args.update_baseline:
+            perf_argv.append("--update-baseline")
+        return perf.main(perf_argv)
 
     if args.matrix:
         run_matrix(args.matrix_sizes, args.matrix_events, args.matrix_out, jobs=args.jobs)

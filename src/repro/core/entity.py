@@ -12,13 +12,20 @@ queue.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import MISSING, dataclass, field, fields as dataclass_fields
+from typing import Callable, Dict, List, Optional
 
 from repro.core.identifiers import GroupId, NodeId
 from repro.core.member import MemberInfo
 from repro.core.membership import MembershipView
 from repro.core.message_queue import MessageQueue
+
+
+#: Defaults served by ``NetworkEntityState.__getattr__`` for slots the raw
+#: bulk builder leaves unset.  Derived from the dataclass fields at import
+#: time (see the module bottom), so a future default-valued field is picked
+#: up automatically instead of raising on first read of a bulk-built entity.
+_LAZY_FIELD_DEFAULTS: Dict[str, object] = {}
 
 
 class EntityRole(enum.Enum):
@@ -42,7 +49,7 @@ class EntityRole(enum.Enum):
         raise ValueError(f"unknown network entity kind {kind!r}")
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkEntityState:
     """The complete local state of one network entity.
 
@@ -58,6 +65,15 @@ class NetworkEntityState:
     ``ring_members``     → ListOfRingMembers
     ``neighbor_members`` → ListOfNeighborMembers
     ``mq``               → MQ
+
+    The three member views and the message queue are **materialised on first
+    access** (their slots start unset; ``__getattr__`` fills them in).  A
+    bulk-built million-proxy hierarchy creates none of them up front, and the
+    vast majority of entities never hold a member or queue a message, so the
+    per-entity footprint stays a single slotted object.  Once touched, the
+    attribute is an ordinary slot — the laziness costs nothing on hot paths.
+    ``mq_hook`` carries the kernel's dirty-ring ``on_enqueue`` callback so it
+    can be wired without forcing the queue into existence.
     """
 
     current: NodeId
@@ -72,17 +88,95 @@ class NetworkEntityState:
     ring_ok: bool = False
     parent_ok: bool = False
     child_ok: bool = False
-    local_members: MembershipView = field(init=False)
-    ring_members: MembershipView = field(init=False)
-    neighbor_members: MembershipView = field(init=False)
-    mq: MessageQueue = field(init=False)
+    local_members: MembershipView = field(init=False, repr=False, compare=False)
+    ring_members: MembershipView = field(init=False, repr=False, compare=False)
+    neighbor_members: MembershipView = field(init=False, repr=False, compare=False)
+    mq: MessageQueue = field(init=False, repr=False, compare=False)
     aggregate_mq: bool = True
+    mq_hook: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False
+    )
+    #: Liveness flags for the lazy slots above — plain bool reads let hot
+    #: paths ask "does this entity have a queue/view at all?" without
+    #: descriptor exceptions and without materialising anything.
+    mq_live: bool = field(default=False, repr=False, compare=False)
+    local_live: bool = field(default=False, repr=False, compare=False)
+    ring_live: bool = field(default=False, repr=False, compare=False)
+    neighbor_live: bool = field(default=False, repr=False, compare=False)
 
-    def __post_init__(self) -> None:
-        self.local_members = MembershipView("local", self.current, self.group)
-        self.ring_members = MembershipView("ring", self.current, self.group)
-        self.neighbor_members = MembershipView("neighbor", self.current, self.group)
-        self.mq = MessageQueue(self.current, aggregate=self.aggregate_mq)
+    def __getattr__(self, name: str):
+        # Only ever reached for *unset* slots: materialise the lazy ones.
+        # The raw-slot bulk builder (``RingHierarchy.build_entity_states``)
+        # leaves every default-valued field unset; the defaults are served —
+        # and cached into the slot — here on first read.
+        if name == "mq":
+            mq = MessageQueue(self.current, aggregate=self.aggregate_mq)
+            mq.on_enqueue = self.mq_hook
+            self.mq = mq
+            self.mq_live = True
+            return mq
+        if name == "local_members":
+            view = MembershipView("local", self.current, self.group)
+            self.local_members = view
+            self.local_live = True
+            return view
+        if name == "ring_members":
+            view = MembershipView("ring", self.current, self.group)
+            self.ring_members = view
+            self.ring_live = True
+            return view
+        if name == "neighbor_members":
+            view = MembershipView("neighbor", self.current, self.group)
+            self.neighbor_members = view
+            self.neighbor_live = True
+            return view
+        if name == "children":
+            children: List[NodeId] = []
+            self.children = children
+            return children
+        try:
+            value = _LAZY_FIELD_DEFAULTS[name]
+        except KeyError:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}"
+            ) from None
+        setattr(self, name, value)
+        return value
+
+    def _mq_if_materialized(self) -> Optional[MessageQueue]:
+        """The message queue if it exists, without creating it."""
+        return self.mq if self.mq_live else None
+
+    def has_queued_work(self) -> bool:
+        """True when the (materialised) queue holds at least one entry."""
+        return self.mq_live and bool(self.mq._entries)
+
+    def set_mq_wiring(
+        self, aggregate: bool, hook: Optional[Callable[[], None]]
+    ) -> None:
+        """Install queue aggregation/hook settings, lazily when possible."""
+        self.aggregate_mq = aggregate
+        self.mq_hook = hook
+        mq = self._mq_if_materialized()
+        if mq is not None:
+            mq.aggregate = aggregate
+            mq.on_enqueue = hook
+
+    # -- pickling (skip unset lazy slots without materialising them) -----------
+
+    def __getstate__(self):
+        cls = type(self)
+        state = {}
+        for name in cls.__slots__:
+            try:
+                state[name] = getattr(cls, name).__get__(self)
+            except AttributeError:
+                continue
+        return state
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
 
     # -- ring role ----------------------------------------------------------------
 
@@ -145,7 +239,19 @@ class NetworkEntityState:
         return changed
 
     def summary(self) -> Dict[str, object]:
-        """Diagnostic snapshot used by tests and the examples."""
+        """Diagnostic snapshot used by tests and the examples.
+
+        Reads the lazy views/queue without materialising them (an unset view
+        is empty by definition).
+        """
+        cls = type(self)
+
+        def _len(name: str) -> int:
+            try:
+                return len(getattr(cls, name).__get__(self))
+            except AttributeError:
+                return 0
+
         return {
             "current": str(self.current),
             "role": self.role.value,
@@ -158,8 +264,19 @@ class NetworkEntityState:
             "ring_ok": self.ring_ok,
             "parent_ok": self.parent_ok,
             "child_ok": self.child_ok,
-            "local_members": len(self.local_members),
-            "ring_members": len(self.ring_members),
-            "neighbor_members": len(self.neighbor_members),
-            "mq_pending": len(self.mq),
+            "local_members": _len("local_members"),
+            "ring_members": _len("ring_members"),
+            "neighbor_members": _len("neighbor_members"),
+            "mq_pending": _len("mq"),
         }
+
+# Populate the lazy defaults from the dataclass definition itself (plain
+# defaults only — ``children`` has a factory and its own ``__getattr__``
+# case; the view/queue slots are init=False and materialise structurally).
+_LAZY_FIELD_DEFAULTS.update(
+    {
+        f.name: f.default
+        for f in dataclass_fields(NetworkEntityState)
+        if f.default is not MISSING
+    }
+)

@@ -16,32 +16,107 @@ caught early in tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any
+from typing import Any, Dict
 
 
-@dataclass(frozen=True, eq=False)
 class _Identifier:
-    """Base class for validated string identifiers.
+    """Base class for validated, interned string identifiers.
 
     Equality, ordering and hashing are hand-written rather than
     dataclass-generated: the generated methods allocate a field tuple per
     comparison, and identifiers are compared and hashed millions of times on
     the kernel's token path.  Semantics are unchanged — same-class
     comparison by ``value``, cross-class comparisons refused.
+
+    Instances are **interned per subclass**: constructing the same identifier
+    value twice yields the same (immutable, ``__slots__``-compact) object, so
+    a million-proxy hierarchy stores each id string exactly once no matter how
+    many rings, views and queues reference it.  The tables are plain dicts
+    (CPython-style: interned ids live for the process) because the weak
+    variant costs ~3x on the bulk-construction path; id populations are
+    bounded by the largest configuration built in-process, and repeated
+    matrix cells re-derive the *same* strings, so the steady-state footprint
+    is one table of small strings.  :func:`clear_intern_tables` exists for
+    long-running processes that switch workloads.  Pickling round-trips
+    through the constructor (``__reduce__``), which both re-interns on load
+    and keeps the cached hash correct across processes with different
+    string-hash seeds.
     """
 
-    value: str
+    __slots__ = ("value", "_hash")
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.value, str) or not self.value:
+    value: str
+    _intern: Dict[str, "_Identifier"]
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        # Each concrete identifier class gets its own intern table, so equal
+        # strings of *different* identifier types stay distinct objects.
+        cls._intern = {}
+
+    def __new__(cls, value: str) -> "_Identifier":
+        cached = cls._intern.get(value) if type(value) is str else None
+        if cached is not None:
+            return cached
+        if not isinstance(value, str) or not value:
             raise ValueError(
-                f"{type(self).__name__} requires a non-empty string, got {self.value!r}"
+                f"{cls.__name__} requires a non-empty string, got {value!r}"
             )
-        # Identifiers are dict keys on every hot path of the protocol kernel;
-        # precomputing the string hash once saves the hash() indirection on
-        # each of the millions of probes a large propagation performs.
-        object.__setattr__(self, "_hash", hash(self.value))
+        self = object.__new__(cls)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "_hash", hash(value))
+        cls._intern[value] = self
+        return self
+
+    @classmethod
+    def make_interned(cls, values: "Any", prefix: str = "") -> list:
+        """Vectorised construction: one interned instance per input string.
+
+        The bulk-build path for million-proxy hierarchies.  Skips the
+        per-instance validation re-run (callers generate the strings, so
+        emptiness/type are guaranteed by construction) and hoists the intern
+        table and allocation callables out of the loop.  With ``prefix`` the
+        concatenation happens inside the loop, so callers building
+        ``prefix + suffix`` id families avoid a generator per call site.
+        """
+        table = cls._intern
+        table_get = table.get
+        alloc = object.__new__
+        setattr_ = object.__setattr__
+        out = []
+        append = out.append
+        if prefix:
+            for suffix in values:
+                value = prefix + suffix
+                ident = table_get(value)
+                if ident is None:
+                    ident = alloc(cls)
+                    setattr_(ident, "value", value)
+                    setattr_(ident, "_hash", hash(value))
+                    table[value] = ident
+                append(ident)
+            return out
+        for value in values:
+            ident = table_get(value)
+            if ident is None:
+                ident = alloc(cls)
+                setattr_(ident, "value", value)
+                setattr_(ident, "_hash", hash(value))
+                table[value] = ident
+            append(ident)
+        return out
+
+    def __setattr__(self, name: str, _value: Any) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __reduce__(self):
+        return (type(self), (self.value,))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(value={self.value!r})"
 
     def __hash__(self) -> int:
         return self._hash
@@ -87,12 +162,39 @@ class _Identifier:
         return format(self.value, spec)
 
 
+# The base class is occasionally instantiated directly in tests; give it its
+# own table (subclasses get theirs from ``__init_subclass__``).
+_Identifier._intern = {}
+
+
+def clear_intern_tables() -> None:
+    """Drop every interned identifier instance (they remain valid objects).
+
+    Intended for long-running processes that move between unrelated
+    workloads; subsequently constructed identifiers re-intern as usual.
+    """
+    for cls in [_Identifier, *_all_subclasses(_Identifier)]:
+        cls._intern.clear()
+
+
+def _all_subclasses(cls: type) -> list:
+    out = []
+    for sub in cls.__subclasses__():
+        out.append(sub)
+        out.extend(_all_subclasses(sub))
+    return out
+
+
 class GroupId(_Identifier):
     """A communication group identity (``GID``)."""
+
+    __slots__ = ()
 
 
 class NodeId(_Identifier):
     """A network entity identity (``NodeID``) — an AP, AG or BR."""
+
+    __slots__ = ()
 
 
 class GloballyUniqueId(_Identifier):
@@ -101,6 +203,8 @@ class GloballyUniqueId(_Identifier):
     Stable across handoffs; analogous to a Mobile IP home address.
     """
 
+    __slots__ = ()
+
 
 class LocallyUniqueId(_Identifier):
     """A mobile host's locally unique identity (``LUID``).
@@ -108,6 +212,8 @@ class LocallyUniqueId(_Identifier):
     Scoped to the current access proxy; analogous to a Mobile IP care-of
     address and re-issued on every handoff.
     """
+
+    __slots__ = ()
 
 
 def make_luid(ap_id: "NodeId | str", guid: "GloballyUniqueId | str", epoch: int) -> LocallyUniqueId:

@@ -33,6 +33,7 @@ as messages on the discrete-event transport.
 from __future__ import annotations
 
 import itertools
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
@@ -40,16 +41,15 @@ from repro.core.config import ProtocolConfig
 from repro.core.deltas import MembershipDelta
 from repro.core.entity import NetworkEntityState
 from repro.core.events import MembershipEventBus
-from repro.core.hierarchy import RingHierarchy
+from repro.core.hierarchy import RingHierarchy, paused_gc
 from repro.core.identifiers import (
     GloballyUniqueId,
     NodeId,
     coerce_guid,
     coerce_node,
-    make_luid,
 )
 from repro.core.member import MemberInfo, MemberStatus
-from repro.core.membership import MembershipEvent, event_type_for
+from repro.core.membership import _EMPTY_STORE, MembershipEvent, event_type_for
 from repro.core.ring import LogicalRing
 from repro.core.token import Token, TokenOperation, TokenOperationType
 from repro.sim.stats import MetricRegistry
@@ -260,6 +260,13 @@ class TokenRoundKernel:
         holder-acknowledgements and (optionally) token hops leave an entity.
         Defaults to :class:`DirectDispatch` (synchronous shared-memory
         delivery); the scenario harness injects a transport-backed dispatch.
+    entities_pristine:
+        Promise that the supplied ``entities`` dict came straight from
+        :meth:`RingHierarchy.build_entity_states` for this hierarchy (exact
+        (ring, member) iteration order, empty queues, no external
+        references): the kernel then takes ownership without copying and
+        wires queue hooks through the same lockstep fast path it uses for
+        states it builds itself.  The snapshot-rehydration path sets this.
     """
 
     def __init__(
@@ -272,6 +279,7 @@ class TokenRoundKernel:
         entities: Optional[Mapping[NodeId, NetworkEntityState]] = None,
         emit_prune_events: bool = True,
         dispatch: Optional[MessageDispatch] = None,
+        entities_pristine: bool = False,
     ) -> None:
         self.hierarchy = hierarchy
         self.dispatch = dispatch if dispatch is not None else DirectDispatch()
@@ -279,24 +287,68 @@ class TokenRoundKernel:
         self.metrics = metrics if metrics is not None else MetricRegistry()
         self.event_bus = event_bus if event_bus is not None else MembershipEventBus()
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
-        self.entities: Dict[NodeId, NetworkEntityState] = (
-            dict(entities) if entities is not None else hierarchy.build_entity_states()
-        )
-        # Rings with (potentially) pending queued work.  Maintained through
-        # the per-queue on_enqueue hook so *any* insert — kernel, dispatch,
-        # harness or test code — marks the owning ring; pending_rings() then
-        # verifies only these candidates instead of scanning every queue of
-        # every ring per sweep (quadratic pain at 100k+ proxies).
-        self._dirty_rings: Set[str] = set()
-        dirty_add = self._dirty_rings.add
-        ring_of_node = hierarchy.ring_of_node
-        for node, entity in self.entities.items():
-            entity.mq.aggregate = self.config.aggregate_mq
-            ring_id = ring_of_node.get(node)
-            if ring_id is not None:
-                entity.mq.on_enqueue = _RingDirtyMarker(dirty_add, ring_id)
-                if not entity.mq.is_empty:
-                    dirty_add(ring_id)
+        built_in_house = entities is None
+        with paused_gc():
+            if built_in_house:
+                self.entities: Dict[NodeId, NetworkEntityState] = (
+                    hierarchy.build_entity_states()
+                )
+            elif entities_pristine and isinstance(entities, dict):
+                self.entities = entities
+            else:
+                entities_pristine = False
+                self.entities = dict(entities)
+            # Rings with (potentially) pending queued work.  Maintained through
+            # the per-queue on_enqueue hook so *any* insert — kernel, dispatch,
+            # harness or test code — marks the owning ring; pending_rings() then
+            # verifies only these candidates instead of scanning every queue of
+            # every ring per sweep (quadratic pain at 100k+ proxies).
+            self._dirty_rings: Set[str] = set()
+            dirty_add = self._dirty_rings.add
+            # Ring-wise wiring: one shared marker per ring (it closes over the
+            # ring id only) instead of one per entity, and no per-node
+            # ring-of-node probe — at a million proxies the per-entity variant
+            # allocated a million markers just to say the same ring id.
+            aggregate = self.config.aggregate_mq
+            entities_map = self.entities
+            if built_in_house or entities_pristine:
+                # Freshly bulk-built states come back in exact (ring, member)
+                # iteration order with pristine (unmaterialised, empty) queues:
+                # wire hooks by walking the two sequences in lockstep — zero
+                # per-node identifier-keyed probes, no queue materialisation.
+                entity_iter = iter(entities_map.values())
+                if aggregate:
+                    # True is the lazy default already; only the hook varies.
+                    for ring_id, ring in hierarchy.rings.items():
+                        marker = _RingDirtyMarker(dirty_add, ring_id)
+                        for _node in ring.members:
+                            next(entity_iter).mq_hook = marker
+                else:
+                    for ring_id, ring in hierarchy.rings.items():
+                        marker = _RingDirtyMarker(dirty_add, ring_id)
+                        for _node in ring.members:
+                            entity = next(entity_iter)
+                            entity.aggregate_mq = False
+                            entity.mq_hook = marker
+            else:
+                wired = 0
+                for ring_id, ring in hierarchy.rings.items():
+                    marker = _RingDirtyMarker(dirty_add, ring_id)
+                    for node in ring.members:
+                        entity = entities_map.get(node)
+                        if entity is None:
+                            continue
+                        wired += 1
+                        entity.set_mq_wiring(aggregate, marker)
+                        if entity.has_queued_work():
+                            dirty_add(ring_id)
+                if wired != len(entities_map):
+                    # Entities outside any ring (possible when states are supplied
+                    # externally) still honour the aggregation setting.
+                    ring_of_node = hierarchy.ring_of_node
+                    for node, entity in entities_map.items():
+                        if node not in ring_of_node:
+                            entity.set_mq_wiring(aggregate, entity.mq_hook)
         self.emit_prune_events = emit_prune_events
         # Per-ring member sets for the bottom-tier bookkeeping of the batched
         # apply path, invalidated by the ring's mutation counter.
@@ -317,16 +369,22 @@ class TokenRoundKernel:
         # runs in one process must produce identical traces (golden tests).
         self._token_ids = itertools.count(1)
         self._member_epochs: Dict[str, int] = {}
-        self.ring_seen: Dict[str, Set[int]] = {ring_id: set() for ring_id in hierarchy.rings}
+        # Per-ring seen-sets / sequence high-water marks materialise on first
+        # touch (defaultdict): pre-seeding one empty set and dict per ring
+        # cost two allocations per ring — 222k objects a million-proxy build
+        # never looked at.  Read paths that must not create entries use
+        # ``.get``, which behaves identically on a defaultdict.
+        self.ring_seen: Dict[str, Set[int]] = defaultdict(set)
         # Highest operation sequence a ring has circulated per member GUID.
         # Event-driven transports can reorder notifications (a lost-and-resent
         # join may arrive after the member's later leave was already applied);
         # this map lets receivers drop such stale operations.
-        self.ring_applied_seq: Dict[str, Dict[str, int]] = {
-            ring_id: {} for ring_id in hierarchy.rings
-        }
+        self.ring_applied_seq: Dict[str, Dict[str, int]] = defaultdict(dict)
         self._ring_holder: Dict[str, NodeId] = {}
         self._coverage_cache: Dict[str, Set[str]] = {}
+        # Bumped by invalidate_coverage(); lets a round detect mid-round
+        # hierarchy surgery and re-derive its per-entry coverage verdicts.
+        self._coverage_epoch = 0
         # Ring tiers are fixed at construction (repair removes members, never
         # whole tiers), so the bottom tier is safe to pin for the hot paths.
         self._bottom_tier = hierarchy.bottom_tier()
@@ -370,8 +428,8 @@ class TokenRoundKernel:
             guid=guid_id,
             group=self.hierarchy.group,
             ap=ap_id,
-            luid=make_luid(ap_id, guid_id, self.next_epoch(str(guid_id))),
             status=MemberStatus.OPERATIONAL,
+            epoch=self.next_epoch(str(guid_id)),
         )
         return TokenOperation(
             op_type=TokenOperationType.MEMBER_JOIN,
@@ -457,8 +515,8 @@ class TokenRoundKernel:
             guid=guid,
             group=self.hierarchy.group,
             ap=ap,
-            luid=make_luid(ap, guid, self.next_epoch(str(guid))),
             status=MemberStatus.OPERATIONAL,
+            epoch=self.next_epoch(str(guid)),
         )
 
     def failure_operations(
@@ -510,6 +568,11 @@ class TokenRoundKernel:
     ) -> List[TokenOperation]:
         """Operations the target ring has not seen yet and that are not stale
         (notification filter)."""
+        if ring_id not in self.hierarchy.rings:
+            # ring_seen is a defaultdict; guard explicitly so a mistyped or
+            # stale ring id still errors (as the pre-seeded map used to)
+            # instead of silently treating everything as fresh.
+            raise KeyError(ring_id)
         seen = self.ring_seen[ring_id]
         applied = self.ring_applied_seq.get(ring_id)
         if applied:
@@ -617,8 +680,43 @@ class TokenRoundKernel:
         self._coverage_cache[ring_id] = covered
         return covered
 
+    def ring_covers(self, ring_id: str, ap: NodeId) -> bool:
+        """Is bottom-tier proxy ``ap`` within ring ``ring_id``'s coverage area?
+
+        Ancestor-chain formulation of :meth:`coverage`: ``ap`` is covered iff
+        its (bottom-tier) ring is ``ring_id`` or reaches it by climbing the
+        leader→parent links — O(height) dict probes and **zero cached state**.
+        The batched apply path uses this instead of the materialised coverage
+        sets, whose combined size is O(proxies × height) at scale (hundreds
+        of MB for a million proxies).  Always reads the live hierarchy, so
+        repairs are visible immediately.
+        """
+        hierarchy = self.hierarchy
+        ring_of_node = hierarchy.ring_of_node
+        current = ring_of_node.get(ap)
+        if current is None:
+            return False
+        if hierarchy.rings[current].tier != self._bottom_tier:
+            return False
+        parent_node = hierarchy.parent_node
+        while True:
+            if current == ring_id:
+                return True
+            parent = parent_node.get(current)
+            if parent is None:
+                return False
+            current = ring_of_node.get(parent)
+            if current is None:
+                return False
+
+    def _entry_coverage(self, ring_id: str, delta: MembershipDelta) -> List[bool]:
+        """Per-entry coverage verdicts for one ring (aligned with entries)."""
+        ring_covers = self.ring_covers
+        return [ring_covers(ring_id, entry.operation.member.ap) for entry in delta.entries]
+
     def invalidate_coverage(self) -> None:
         self._coverage_cache.clear()
+        self._coverage_epoch += 1
 
     # ------------------------------------------------------------------
     # operation application (Figure 3 line 08)
@@ -680,7 +778,7 @@ class TokenRoundKernel:
             entity,
             delta,
             now,
-            self.coverage(ring.ring_id),
+            self._entry_coverage(ring.ring_id, delta),
             is_bottom,
             self._ring_members_set(ring) if is_bottom else None,
         )
@@ -690,47 +788,56 @@ class TokenRoundKernel:
         entity: NetworkEntityState,
         delta: MembershipDelta,
         now: float,
-        coverage: Set[str],
+        entry_coverage: Sequence[bool],
         is_bottom: bool,
         ring_member_set: Optional[Set[NodeId]],
     ) -> Sequence[MembershipEvent]:
         """Delta application with the per-ring context precomputed.
 
         ``run_round`` applies the same compiled delta at every member it
-        visits; hoisting the coverage set and ring-member set out of the
-        per-visit call is what makes the token path O(net changes) per visit.
+        visits; hoisting the per-entry coverage verdicts and ring-member set
+        out of the per-visit call is what makes the token path O(net changes)
+        per visit.
         """
         events: Optional[List[MembershipEvent]] = None
         node = entity.current
-        local = entity.local_members
-        neighbor = entity.neighbor_members
-        ring_view = entity.ring_members
         # Probe the views' string-keyed stores directly; mutations still go
         # through the view methods so versioning stays correct.  The probes
         # also gate remove() calls, so the common no-op removal (an operation
-        # about a member this view never covered) costs one dict hit.
-        local_store = local._members
-        neighbor_store = neighbor._members
-        ring_store = ring_view._members
+        # about a member this view never covered) costs one dict hit.  Views
+        # are lazy: an unmaterialised view probes as the shared empty store
+        # and is only brought into existence by an actual addition — at a
+        # million proxies the visit loop would otherwise allocate three view
+        # objects per entity just to discover there is nothing to do.
+        local = entity.local_members if entity.local_live else None
+        neighbor = entity.neighbor_members if entity.neighbor_live else None
+        ring_view = entity.ring_members if entity.ring_live else None
+        local_store = local._members if local is not None else _EMPTY_STORE
+        neighbor_store = neighbor._members if neighbor is not None else _EMPTY_STORE
+        ring_store = ring_view._members if ring_view is not None else _EMPTY_STORE
         emit_prune = self.emit_prune_events
-        for entry in delta.entries:
+        for position, entry in enumerate(delta.entries):
             op = entry.operation
             member = op.member
             resolved = entry.resolved
             guid_value = entry.guid_value
             adding = resolved is not None
             member_ap = member.ap
-            in_coverage = member_ap.value in coverage
+            in_coverage = entry_coverage[position]
 
             if is_bottom:
                 # Local member list: only the access proxy the member is attached to.
                 if adding and member_ap == node:
+                    if local is None:
+                        local = entity.local_members
                     local.add(resolved)
                 elif guid_value in local_store and (member_ap != node or not adding):
                     local.remove(guid_value)
                 # Neighbour member list: members at the *other* proxies of this ring.
                 if member_ap != node and member_ap in ring_member_set:
                     if adding:
+                        if neighbor is None:
+                            neighbor = entity.neighbor_members
                         neighbor.add(resolved)
                     elif guid_value in neighbor_store:
                         neighbor.remove(guid_value)
@@ -741,8 +848,12 @@ class TokenRoundKernel:
             event: Optional[MembershipEvent] = None
             if adding:
                 if in_coverage:
+                    if ring_view is None:
+                        ring_view = entity.ring_members
                     if ring_view.add(resolved):
-                        event = self._event(op, node, now, len(ring_store))
+                        # Refetch: the first add on a lazily allocated view
+                        # swaps its store, leaving the hoisted handle stale.
+                        event = self._event(op, node, now, len(ring_view._members))
                 elif guid_value in ring_store:
                     ring_view.remove(guid_value)
                     if emit_prune:
@@ -969,8 +1080,10 @@ class TokenRoundKernel:
             raise ProtocolError(f"holder {holder_id} has failed")
 
         holder_entity = self.entity(holder_id)
-        # Inlined drain_for_round, reusing the cached ring-member set.
-        entries = holder_entity.mq.drain_entries()
+        # Inlined drain_for_round, reusing the cached ring-member set.  Peek
+        # the lazy queue: a pure repair round has no queue to drain.
+        holder_mq = holder_entity._mq_if_materialized()
+        entries = holder_mq.drain_entries() if holder_mq is not None else ()
         operations = tuple(e.operation for e in entries)
         ring_members_now = self._ring_members_set(ring)
         child_senders = [
@@ -1031,8 +1144,13 @@ class TokenRoundKernel:
         retransmissions = 0
         visited = result.visited
         visited_append = visited.append
-        coverage_cache = self._coverage_cache
         ring_set_cache = self._ring_set_cache
+        # Per-entry coverage verdicts, derived once per round and re-derived
+        # only when hierarchy surgery (a repair, here or via a notification
+        # re-route) bumps the coverage epoch — the equivalent of the old
+        # coverage-set cache plus invalidation, without materialising sets.
+        entry_coverage: Optional[List[bool]] = None
+        coverage_epoch = -1
         index = 0
         while index < order_len:
             node = order[index]
@@ -1058,9 +1176,9 @@ class TokenRoundKernel:
             entity = entities[node]
             if use_batched:
                 if has_entries:
-                    coverage = coverage_cache.get(ring_id)
-                    if coverage is None:
-                        coverage = self.coverage(ring_id)
+                    if coverage_epoch != self._coverage_epoch:
+                        coverage_epoch = self._coverage_epoch
+                        entry_coverage = self._entry_coverage(ring_id, batch)
                     if is_bottom:
                         cached_set = ring_set_cache.get(ring_id)
                         if cached_set is not None and cached_set[0] == ring.version:
@@ -1070,7 +1188,7 @@ class TokenRoundKernel:
                     else:
                         member_set = None
                     events = self._apply_delta_ctx(
-                        entity, batch, now, coverage, is_bottom, member_set
+                        entity, batch, now, entry_coverage, is_bottom, member_set
                     )
                 else:
                     events = ()
@@ -1175,7 +1293,7 @@ class TokenRoundKernel:
                 continue
             if first_operational is None:
                 first_operational = node
-            if not entities[node].mq.is_empty:
+            if entities[node].has_queued_work():
                 return node
         if first_operational is None:
             raise ProtocolError(f"ring {ring.ring_id!r} has no operational members")
@@ -1251,7 +1369,7 @@ class TokenRoundKernel:
             has_work = False
             if ring is not None:
                 for node in ring.members:
-                    if node not in failed and not entities[node].mq.is_empty:
+                    if node not in failed and entities[node].has_queued_work():
                         has_work = True
                         break
             if has_work:
@@ -1280,7 +1398,7 @@ class TokenRoundKernel:
                     continue
                 # Skip if the work was consumed by an earlier round this sweep.
                 if not any(
-                    node not in failed and not entities[node].mq.is_empty
+                    node not in failed and entities[node].has_queued_work()
                     for node in ring.members
                 ):
                     continue

@@ -55,6 +55,15 @@ def event_type_for(op_type: TokenOperationType) -> MembershipEventType:
     return _EVENT_FOR_OP[op_type]
 
 
+#: Shared store of every empty view.  A million-proxy hierarchy creates three
+#: views per entity and most never hold a member; pointing them all at one
+#: immutable-by-convention dict keeps them read-probe-compatible (``in``,
+#: ``len``, ``.get``) at zero per-view cost.  All mutation paths swap in a
+#: private dict first (see ``_store``); nothing may ever write through this
+#: reference.
+_EMPTY_STORE: Dict[str, MemberInfo] = {}
+
+
 class MembershipView:
     """A set of operational member records with change application.
 
@@ -65,6 +74,8 @@ class MembershipView:
     a token is retransmitted).
     """
 
+    __slots__ = ("scope", "owner", "group", "_members", "version")
+
     def __init__(self, scope: str, owner: NodeId, group: GroupId) -> None:
         self.scope = scope
         self.owner = owner
@@ -72,8 +83,30 @@ class MembershipView:
         # Keyed by the GUID's plain string value: str hashing is C-level and
         # cached, which matters because the kernel probes these dicts once per
         # delta entry per visited entity.
-        self._members: Dict[str, MemberInfo] = {}
+        self._members: Dict[str, MemberInfo] = _EMPTY_STORE
         self.version = 0
+
+    def _store(self) -> Dict[str, MemberInfo]:
+        """The private, writable member store (allocated on first write)."""
+        members = self._members
+        if members is _EMPTY_STORE:
+            members = {}
+            self._members = members
+        return members
+
+    def __getstate__(self):
+        members = self._members
+        return (
+            self.scope,
+            self.owner,
+            self.group,
+            None if members is _EMPTY_STORE else members,
+            self.version,
+        )
+
+    def __setstate__(self, state) -> None:
+        self.scope, self.owner, self.group, members, self.version = state
+        self._members = _EMPTY_STORE if members is None else members
 
     @staticmethod
     def _key(guid: object) -> str:
@@ -113,10 +146,13 @@ class MembershipView:
     def add(self, member: MemberInfo) -> bool:
         """Add or refresh a member record.  Returns True if the view changed."""
         key = member.guid.value
-        existing = self._members.get(key)
+        members = self._members
+        existing = members.get(key)
         if existing == member:
             return False
-        self._members[key] = member
+        if members is _EMPTY_STORE:
+            members = self._store()
+        members[key] = member
         self.version += 1
         return True
 
@@ -197,6 +233,8 @@ class MembershipView:
             if resolved is not None:
                 if members.get(key) == resolved:
                     continue
+                if members is _EMPTY_STORE:
+                    members = self._store()
                 members[key] = resolved
             else:
                 if members.pop(key, None) is None:
@@ -222,6 +260,8 @@ class MembershipView:
         for member in members:
             key = member.guid.value
             if store.get(key) != member:
+                if store is _EMPTY_STORE:
+                    store = self._store()
                 store[key] = member
                 added += 1
         self.version += added

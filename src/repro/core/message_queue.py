@@ -23,15 +23,14 @@ interfere with each other and preserve arrival order.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.identifiers import NodeId
 from repro.core.token import TokenOperation, TokenOperationType
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class QueuedMessage:
     """One entry in a message queue."""
 
@@ -52,6 +51,10 @@ class MessageQueue:
     Aggregation moves the merged entry to the back of the queue, exactly as
     the seed's rebuild did.
 
+    The instance is ``__slots__``-compact and the entry dict is allocated on
+    first insert: a million-proxy hierarchy creates one queue per entity at
+    build time, and the overwhelming majority never hold a message.
+
     Parameters
     ----------
     owner:
@@ -61,11 +64,21 @@ class MessageQueue:
         ablation benchmark compares both modes.
     """
 
+    __slots__ = (
+        "owner",
+        "aggregate",
+        "_entries",
+        "_unkeyed",
+        "total_enqueued",
+        "total_aggregated_away",
+        "on_enqueue",
+    )
+
     def __init__(self, owner: NodeId, aggregate: bool = True) -> None:
         self.owner = owner
         self.aggregate = aggregate
-        self._entries: Dict[object, QueuedMessage] = {}
-        self._unkeyed = itertools.count()
+        self._entries: Optional[Dict[object, QueuedMessage]] = None
+        self._unkeyed = 0
         self.total_enqueued = 0
         self.total_aggregated_away = 0
         #: Optional zero-argument callback invoked on every insert().  The
@@ -75,32 +88,42 @@ class MessageQueue:
         self.on_enqueue = None
 
     def __len__(self) -> int:
-        return len(self._entries)
+        entries = self._entries
+        return len(entries) if entries is not None else 0
 
     @property
     def is_empty(self) -> bool:
         return not self._entries
+
+    def _store(self) -> Dict[object, QueuedMessage]:
+        entries = self._entries
+        if entries is None:
+            entries = {}
+            self._entries = entries
+        return entries
 
     def insert(self, operation: TokenOperation, sender: NodeId, now: float) -> None:
         """Insert one operation (``MQ.Insert`` in the paper's pseudocode)."""
         self.total_enqueued += 1
         if self.on_enqueue is not None:
             self.on_enqueue()
+        entries = self._store()
         entry = QueuedMessage(operation=operation, sender=sender, enqueued_at=now)
         if not self.aggregate:
-            self._entries[next(self._unkeyed)] = entry
+            entries[self._unkeyed] = entry
+            self._unkeyed += 1
             return
         if operation.member is None:
             # Network-entity operations: only collapse exact duplicates (the
             # earlier entry keeps its queue position).
             key = ("ne", operation.op_type, operation.entity)
-            if key in self._entries:
+            if key in entries:
                 self.total_aggregated_away += 1
                 return
-            self._entries[key] = entry
+            entries[key] = entry
             return
         key = operation.member.guid.value
-        pending_for_member = self._entries.pop(key, None)
+        pending_for_member = entries.pop(key, None)
         merged = self._merge_member_ops(pending_for_member, entry)
         if merged is None:
             # The pair cancelled out entirely (join then leave).
@@ -108,7 +131,7 @@ class MessageQueue:
             return
         if pending_for_member is not None:
             self.total_aggregated_away += 1
-        self._entries[key] = merged
+        entries[key] = merged
 
     @staticmethod
     def _merge_member_ops(
@@ -149,24 +172,33 @@ class MessageQueue:
 
     def drain(self) -> Tuple[TokenOperation, ...]:
         """Remove and return all queued operations in order."""
-        operations = tuple(entry.operation for entry in self._entries.values())
-        self._entries.clear()
+        store = self._entries
+        if not store:
+            return ()
+        operations = tuple(entry.operation for entry in store.values())
+        store.clear()
         return operations
 
     def drain_entries(self) -> Tuple[QueuedMessage, ...]:
         """Remove and return all queued entries (with sender metadata)."""
-        entries = tuple(self._entries.values())
-        self._entries.clear()
+        store = self._entries
+        if not store:
+            return ()
+        entries = tuple(store.values())
+        store.clear()
         return entries
 
     def peek(self) -> Tuple[TokenOperation, ...]:
         """Queued operations without removing them."""
-        return tuple(entry.operation for entry in self._entries.values())
+        store = self._entries
+        if not store:
+            return ()
+        return tuple(entry.operation for entry in store.values())
 
     def senders(self) -> List[NodeId]:
         """Distinct senders of the currently queued entries."""
         seen: Dict[NodeId, None] = {}
-        for entry in self._entries.values():
+        for entry in self._entries.values() if self._entries else ():
             seen.setdefault(entry.sender, None)
         return list(seen)
 

@@ -173,13 +173,13 @@ class RGBProtocolNode:
         self._request_round_soon()
 
     def _request_round_soon(self) -> None:
-        if self._signalled or self.state.mq.is_empty:
+        if self._signalled or not self.state.has_queued_work():
             return
         self._signalled = True
 
         def fire(_engine: SimulationEngine) -> None:
             self._signalled = False
-            if self.crashed or self.state.mq.is_empty:
+            if self.crashed or not self.state.has_queued_work():
                 return
             leader = self.state.leader
             if leader is None:
@@ -204,7 +204,7 @@ class RGBProtocolNode:
         attempts = self._signal_attempts
 
         def expire(_engine: SimulationEngine) -> None:
-            if self.crashed or self.state.mq.is_empty:
+            if self.crashed or not self.state.has_queued_work():
                 self._signal_attempts = 0
                 return
             if attempts != getattr(self, "_signal_attempts", 0):
@@ -363,7 +363,7 @@ class RGBProtocolNode:
             self._round_in_progress = False
             self._maybe_grant()
         # More work may have arrived while the round was circulating.
-        if not self.state.mq.is_empty:
+        if self.state.has_queued_work():
             self._request_round_soon()
 
     # -- token circulation -------------------------------------------------------------

@@ -20,7 +20,7 @@ class RingError(RuntimeError):
     """Raised for invalid ring operations (unknown member, empty ring, ...)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class LogicalRing:
     """An ordered ring of network entities.
 
@@ -44,6 +44,10 @@ class LogicalRing:
     tier: int
     members: List[NodeId] = field(default_factory=list)
     leader: Optional[NodeId] = None
+    #: Mutation counter: lets callers (e.g. the kernel's per-round member
+    #: set cache) cheaply detect that a ring changed shape.
+    version: int = field(default=0, repr=False, compare=False)
+    _index: Dict[NodeId, int] = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         # Position index: member -> slot in circulation order.  Successor /
@@ -61,10 +65,59 @@ class LogicalRing:
             )
 
     def _reindex(self) -> None:
-        self._index = {node: position for position, node in enumerate(self.members)}
-        # Mutation counter: lets callers (e.g. the kernel's per-round member
-        # set cache) cheaply detect that a ring changed shape.
-        self.version = getattr(self, "version", 0) + 1
+        # dict(zip(...)) runs the insert loop in C; the dict-comprehension
+        # equivalent pays Python bytecode per member, which at a million
+        # proxies (111k rings) is a measurable slice of hierarchy builds.
+        self._index = dict(zip(self.members, range(len(self.members))))
+        self.version += 1
+
+    @classmethod
+    def bulk(cls, ring_id: str, tier: int, members: List[NodeId]) -> "LogicalRing":
+        """Trusted bulk constructor for builder-generated rings.
+
+        Skips the constructor's duplicate/leader checks (the caller generates
+        unique, sorted member ids) and defers the position index — it
+        materialises through ``__getattr__`` on first successor/predecessor
+        use, so a million-proxy build never pays for the 111k ring indexes it
+        has not touched yet.  The leader is the first member, which for
+        sorted ids equals deterministic minimal-id election.
+        """
+        self = object.__new__(cls)
+        self.ring_id = ring_id
+        self.tier = tier
+        self.members = members
+        self.leader = members[0] if members else None
+        # Mirror the checked constructor's post-_reindex counter so cached
+        # derivations (kernel ring-set cache) behave identically.
+        self.version = 1
+        return self
+
+    def __getattr__(self, name: str):
+        if name == "_index":
+            # Deferred position index (see :meth:`bulk`): build without
+            # bumping ``version`` — materialisation is not a mutation.
+            index = dict(zip(self.members, range(len(self.members))))
+            self._index = index
+            return index
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def __getstate__(self):
+        # The position index is derived state: dropping it keeps topology
+        # snapshots lean and lets every rehydrated ring defer it, exactly
+        # like a freshly bulk-built one.
+        return {
+            "ring_id": self.ring_id,
+            "tier": self.tier,
+            "members": self.members,
+            "leader": self.leader,
+            "version": self.version,
+        }
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
 
     # -- basic accessors ---------------------------------------------------------
 

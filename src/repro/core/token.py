@@ -44,7 +44,7 @@ class TokenOperationType(enum.Enum):
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TokenOperation:
     """One membership change carried by a token.
 
@@ -81,7 +81,7 @@ class TokenOperation:
         return f"{self.op_type.value}({subject})"
 
 
-@dataclass
+@dataclass(slots=True)
 class Token:
     """A token circulating in one logical ring.
 

@@ -32,12 +32,13 @@ this harness instead of hand-rolling a driver.
 from __future__ import annotations
 
 import itertools
+import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.config import ProtocolConfig
 from repro.core.events import MembershipEventBus
-from repro.core.hierarchy import HierarchyBuilder, RingHierarchy
+from repro.core.hierarchy import HierarchyBuilder, RingHierarchy, paused_gc
 from repro.core.identifiers import NodeId, coerce_node
 from repro.core.kernel import MessageDispatch, TokenRoundKernel, stale_for
 from repro.core.member import MemberInfo
@@ -275,10 +276,91 @@ class TransportDispatch(MessageDispatch):
         self.harness._accept_notification(entry)
 
 
-class ScenarioHarness:
-    """Drives the token-round kernel through the discrete-event sim stack."""
+@dataclass(frozen=True)
+class TopologySnapshot:
+    """A frozen, fully built ring hierarchy for one shape.
 
-    def __init__(self, config: Optional[HarnessConfig] = None) -> None:
+    ``payload`` pickles the :class:`RingHierarchy` exactly as a fresh
+    :class:`ScenarioHarness` would build it.  Rehydrating (``pickle.loads``)
+    hands each cell its own private, mutable copy — identical to a fresh
+    build bit for bit (interned identifiers re-intern on load) — so a matrix
+    sweep builds each distinct shape once instead of once per loss-rate ×
+    scenario cell.  Entity states and the link network are deliberately *not*
+    frozen: they derive deterministically from the hierarchy through bulk
+    paths that are faster than unpickling their object graphs, so each cell
+    rebuilds them from its rehydrated hierarchy.
+
+    Invalidation rules: a snapshot is keyed by ``(ring_size, height)`` only,
+    because everything else a cell varies (loss, latency, seed, scenario,
+    trace) lives outside the pickled state — the network is built per cell
+    with the cell's latency model and all RNG draws happen after rehydration.
+    Anything that changes the *built structure* (builder logic, ring layout)
+    invalidates by construction: snapshots are process-local, never persisted
+    to disk, and rebuilt on first use by every new process.
+    """
+
+    ring_size: int
+    height: int
+    payload: bytes
+
+
+def build_topology_snapshot(ring_size: int, height: int) -> TopologySnapshot:
+    """Build one harness hierarchy and freeze it for reuse across cells."""
+    with paused_gc():
+        hierarchy = HierarchyBuilder("harness").regular(ring_size=ring_size, height=height)
+        payload = pickle.dumps(hierarchy, protocol=pickle.HIGHEST_PROTOCOL)
+    return TopologySnapshot(ring_size=ring_size, height=height, payload=payload)
+
+
+def _build_harness_network(hierarchy: RingHierarchy, latency: LatencyModel) -> Network:
+    """One network node per hierarchy entity; links mirror the logical
+    edges the protocol uses (ring circulation + member↔parent)."""
+    network = Network()
+    bottom = hierarchy.bottom_tier()
+    top = hierarchy.top_tier()
+    for ring in hierarchy.rings.values():
+        kind = "AP" if ring.tier == bottom else ("BR" if ring.tier == top else "AG")
+        network.add_nodes(
+            NetworkNode(node_id=node.value, kind=kind, tier=ring.tier)
+            for node in ring.members
+        )
+    links: List[Tuple[str, str, LatencyModel]] = []
+    have = set()
+    link_key = Network._link_key
+    for ring_id, ring in hierarchy.rings.items():
+        members = ring.members
+        if len(members) > 1:
+            for index, node in enumerate(members):
+                succ = members[(index + 1) % len(members)]
+                key = link_key(node.value, succ.value)
+                if key not in have:
+                    have.add(key)
+                    links.append((node.value, succ.value, latency))
+        parent = hierarchy.parent_node.get(ring_id)
+        if parent is not None:
+            for node in members:
+                key = link_key(parent.value, node.value)
+                if key not in have:
+                    have.add(key)
+                    links.append((parent.value, node.value, latency))
+    network.add_links(links)
+    return network
+
+
+class ScenarioHarness:
+    """Drives the token-round kernel through the discrete-event sim stack.
+
+    ``snapshot`` (optional) supplies a :class:`TopologySnapshot` of the same
+    hierarchy shape; the harness then rehydrates the frozen topology instead
+    of rebuilding it — observable behaviour is bit-identical either way
+    (pinned by ``tests/test_bulk_build.py``).
+    """
+
+    def __init__(
+        self,
+        config: Optional[HarnessConfig] = None,
+        snapshot: Optional[TopologySnapshot] = None,
+    ) -> None:
         self.config = config if config is not None else HarnessConfig()
         cfg = self.config
         self.streams = RandomStreams(cfg.seed)
@@ -287,15 +369,26 @@ class ScenarioHarness:
         self.event_bus = MembershipEventBus()
         self.engine = SimulationEngine()
 
-        self.hierarchy: RingHierarchy = HierarchyBuilder("harness").regular(
-            ring_size=cfg.ring_size, height=cfg.height
-        )
-        self._latency = LatencyModel(
-            mean=cfg.latency_mean,
-            std=cfg.latency_std,
-            loss=cfg.loss,
-        )
-        self.network = self._build_network()
+        with paused_gc():
+            if snapshot is not None:
+                if (snapshot.ring_size, snapshot.height) != (cfg.ring_size, cfg.height):
+                    raise HarnessError(
+                        f"snapshot shape r={snapshot.ring_size} h={snapshot.height} does "
+                        f"not match config r={cfg.ring_size} h={cfg.height}"
+                    )
+                hierarchy = pickle.loads(snapshot.payload)
+            else:
+                hierarchy = HierarchyBuilder("harness").regular(
+                    ring_size=cfg.ring_size, height=cfg.height
+                )
+            self.hierarchy: RingHierarchy = hierarchy
+            states = hierarchy.build_entity_states()
+            self._latency = LatencyModel(
+                mean=cfg.latency_mean,
+                std=cfg.latency_std,
+                loss=cfg.loss,
+            )
+            self.network = _build_harness_network(hierarchy, self._latency)
         self.transport = Transport(
             self.engine,
             self.network,
@@ -317,6 +410,8 @@ class ScenarioHarness:
             event_bus=self.event_bus,
             trace=self.trace,
             dispatch=self.dispatch,
+            entities=states,
+            entities_pristine=True,
         )
         self.faults = FaultInjector(
             self.engine,
@@ -337,30 +432,6 @@ class ScenarioHarness:
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
-
-    def _build_network(self) -> Network:
-        """One network node per hierarchy entity; links mirror the logical
-        edges the protocol uses (ring circulation + member↔parent)."""
-        network = Network()
-        bottom = self.hierarchy.bottom_tier()
-        top = self.hierarchy.top_tier()
-        for ring in self.hierarchy.rings.values():
-            kind = "AP" if ring.tier == bottom else ("BR" if ring.tier == top else "AG")
-            for node in ring.members:
-                network.add_node(NetworkNode(node_id=node.value, kind=kind, tier=ring.tier))
-        for ring_id, ring in self.hierarchy.rings.items():
-            members = ring.members
-            if len(members) > 1:
-                for index, node in enumerate(members):
-                    succ = members[(index + 1) % len(members)]
-                    if not network.has_link(node.value, succ.value):
-                        network.add_link(node.value, succ.value, self._latency)
-            parent = self.hierarchy.parent_node.get(ring_id)
-            if parent is not None:
-                for node in members:
-                    if not network.has_link(parent.value, node.value):
-                        network.add_link(parent.value, node.value, self._latency)
-        return network
 
     def _ensure_link(self, a: str, b: str) -> None:
         if not self.network.has_link(a, b):
@@ -630,7 +701,7 @@ class ScenarioHarness:
             if n in failed:
                 continue
             operational += 1
-            if not has_work and not entities[n].mq.is_empty:
+            if not has_work and entities[n].has_queued_work():
                 has_work = True
         if operational == 0:
             return
@@ -643,7 +714,7 @@ class ScenarioHarness:
         # round — control of a fresh token passes along the ring.
         failed = kernel.failed
         for n in ring.members:
-            if n not in failed and not entities[n].mq.is_empty:
+            if n not in failed and entities[n].has_queued_work():
                 self._schedule_round(ring_id)
                 break
 

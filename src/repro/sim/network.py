@@ -40,7 +40,7 @@ class NodeState(enum.Enum):
     FAILED = "failed"
 
 
-@dataclass
+@dataclass(slots=True)
 class LatencyModel:
     """Per-link delay distribution and loss probability.
 
@@ -82,13 +82,14 @@ INTRA_AS = LatencyModel(mean=2.0, std=0.5, loss=0.0)
 INTER_AS = LatencyModel(mean=20.0, std=5.0, loss=0.0)
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkNode:
     """A simulated host: a mobile host, AP, AG or BR.
 
     ``kind`` is a free-form string (``"MH"``, ``"AP"``, ``"AG"``, ``"BR"``)
     used by the topology layer and renderers; the network itself treats all
-    nodes uniformly.
+    nodes uniformly.  Slotted: a 100k-proxy cell instantiates one of these
+    per entity and two :class:`Link` records per logical edge.
     """
 
     node_id: str
@@ -105,7 +106,7 @@ class NetworkNode:
         return hash(self.node_id)
 
 
-@dataclass
+@dataclass(slots=True)
 class Link:
     """A bidirectional physical link between two nodes."""
 
@@ -174,6 +175,62 @@ class Network:
         self._routes_dirty = True
         self.topology_epoch += 1
         return link
+
+    def add_nodes(self, nodes: Iterable[NetworkNode]) -> List[NetworkNode]:
+        """Bulk :meth:`add_node`: one route/epoch invalidation per batch.
+
+        The per-call variant bumps ``topology_epoch`` and re-dirties the
+        route cache for every node — pure overhead when a generator installs
+        a whole tier at once.
+        """
+        added: List[NetworkNode] = []
+        registry = self._nodes
+        adjacency = self._adjacency
+        try:
+            for node in nodes:
+                if node.node_id in registry:
+                    raise ValueError(f"duplicate node id {node.node_id!r}")
+                registry[node.node_id] = node
+                adjacency[node.node_id] = []
+                added.append(node)
+        finally:
+            # A mid-batch validation error leaves the earlier inserts in
+            # place (documented partial-batch semantics); route caches and
+            # epoch-keyed consumers must still observe them.
+            if added:
+                self._routes_dirty = True
+                self.topology_epoch += 1
+        return added
+
+    def add_links(self, links: Iterable[Tuple[str, str, LatencyModel]]) -> List[Link]:
+        """Bulk :meth:`add_link`: one route/epoch invalidation per batch."""
+        added: List[Link] = []
+        registry = self._nodes
+        link_map = self._links
+        adjacency = self._adjacency
+        link_key = self._link_key
+        try:
+            for a, b, latency in links:
+                if a not in registry or b not in registry:
+                    missing = a if a not in registry else b
+                    raise KeyError(f"cannot link unknown node {missing!r}")
+                if a == b:
+                    raise ValueError(f"self-links are not allowed ({a!r})")
+                key = link_key(a, b)
+                if key in link_map:
+                    raise ValueError(f"duplicate link between {a!r} and {b!r}")
+                link = Link(a=a, b=b, latency=latency)
+                link_map[key] = link
+                adjacency[a].append(b)
+                adjacency[b].append(a)
+                added.append(link)
+        finally:
+            # See add_nodes: earlier inserts of a failed batch stay visible
+            # to routing/epoch consumers.
+            if added:
+                self._routes_dirty = True
+                self.topology_epoch += 1
+        return added
 
     @staticmethod
     def _link_key(a: str, b: str) -> Tuple[str, str]:

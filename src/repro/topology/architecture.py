@@ -157,6 +157,14 @@ class FourTierArchitecture:
     Holds the identifiers of every entity per tier and the attachment maps
     (AP → AG, AG → BR, MH → AP).  The generator fills this in alongside the
     simulated :class:`repro.sim.network.Network`.
+
+    The parent/attachment maps are treated as **frozen after generation**:
+    the children lookups (:meth:`aps_of_ag` and friends) serve from a lazily
+    built reverse index, so anything that mutates ``ap_parent`` /
+    ``ag_parent`` / ``host_attachment`` directly afterwards must call
+    :meth:`invalidate_indexes` or the lookups serve stale children.
+    (Dynamic attachment during simulations lives in the protocol state, not
+    here — no shipped code mutates these maps post-generate.)
     """
 
     spec: TopologySpec
@@ -169,25 +177,58 @@ class FourTierArchitecture:
     host_attachment: Dict[str, str] = field(default_factory=dict)
     ap_access_network: Dict[str, AccessNetworkKind] = field(default_factory=dict)
     host_device_class: Dict[str, str] = field(default_factory=dict)
+    #: Version counter for the parent/attachment maps above; bump (or call
+    #: :meth:`invalidate_indexes`) after mutating them so the lazily built
+    #: children indexes below stay correct.
+    _index_version: int = field(default=0, repr=False, compare=False)
+    _children_cache: Optional[Tuple[int, Dict[str, Dict[str, List[str]]]]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def invalidate_indexes(self) -> None:
+        """Drop the cached children indexes after mutating the parent maps."""
+        self._index_version += 1
+        self._children_cache = None
+
+    def _children(self, relation: str) -> Dict[str, List[str]]:
+        """Lazily built parent → children index for one of the parent maps.
+
+        The per-call scans this replaces (``[ap for ap, ag in ... if ...]``)
+        made ``HierarchyBuilder.from_topology`` quadratic in the proxy count;
+        one pass over each map amortises every subsequent lookup to O(1).
+        """
+        cached = self._children_cache
+        if cached is None or cached[0] != self._index_version:
+            indexes: Dict[str, Dict[str, List[str]]] = {"ag": {}, "br": {}, "ap": {}}
+            for ap, ag in self.ap_parent.items():
+                indexes["ag"].setdefault(ag, []).append(ap)
+            for ag, br in self.ag_parent.items():
+                indexes["br"].setdefault(br, []).append(ag)
+            for mh, ap in self.host_attachment.items():
+                indexes["ap"].setdefault(ap, []).append(mh)
+            cached = (self._index_version, indexes)
+            self._children_cache = cached
+        return cached[1][relation]
 
     def aps_of_ag(self, ag_id: str) -> List[str]:
         """Access proxies whose parent gateway is ``ag_id``."""
-        return [ap for ap, ag in self.ap_parent.items() if ag == ag_id]
+        return list(self._children("ag").get(ag_id, ()))
 
     def ags_of_br(self, br_id: str) -> List[str]:
         """Access gateways whose parent border router is ``br_id``."""
-        return [ag for ag, br in self.ag_parent.items() if br == br_id]
+        return list(self._children("br").get(br_id, ()))
 
     def hosts_of_ap(self, ap_id: str) -> List[str]:
         """Mobile hosts currently attached to ``ap_id``."""
-        return [mh for mh, ap in self.host_attachment.items() if ap == ap_id]
+        return list(self._children("ap").get(ap_id, ()))
 
     def ap_neighbors(self) -> Dict[str, List[str]]:
         """Neighbourhood map for the mobility model: APs under the same AG."""
+        by_ag = self._children("ag")
         neighbors: Dict[str, List[str]] = {}
         for ap in self.access_proxies:
-            ag = self.ap_parent[ap]
-            neighbors[ap] = [other for other in self.aps_of_ag(ag) if other != ap]
+            siblings = by_ag.get(self.ap_parent[ap], ())
+            neighbors[ap] = [other for other in siblings if other != ap]
         return neighbors
 
     def tier_counts(self) -> Dict[str, int]:

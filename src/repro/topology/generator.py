@@ -88,7 +88,14 @@ class TopologyGenerator:
     # -- generation -----------------------------------------------------------
 
     def generate(self) -> GeneratedTopology:
-        """Build the network and architecture metadata."""
+        """Build the network and architecture metadata.
+
+        Whole tiers are assembled as lists and installed through the
+        network's batch endpoints (:meth:`repro.sim.network.Network.add_nodes`
+        / ``add_links``) with the stochastic attributes drawn as one vector
+        per tier — per-node ``add_node``/``choice`` calls made generation the
+        dominant cost of large generated topologies.
+        """
         spec = self.spec
         network = Network()
         arch = FourTierArchitecture(spec=spec)
@@ -98,39 +105,48 @@ class TopologyGenerator:
         kind_weights = kind_weights / kind_weights.sum()
 
         # Inter-AS tier: border routers, full mesh.
-        for b in range(spec.num_border_routers):
-            br = self.br_id(b)
-            network.add_node(NetworkNode(node_id=br, kind="BR", tier=3))
-            arch.border_routers.append(br)
-        for i, a in enumerate(arch.border_routers):
-            for b in arch.border_routers[i + 1 :]:
-                network.add_link(a, b, INTER_AS)
+        arch.border_routers.extend(self.br_id(b) for b in range(spec.num_border_routers))
+        brs = arch.border_routers
+        network.add_nodes(NetworkNode(node_id=br, kind="BR", tier=3) for br in brs)
+        network.add_links(
+            (a, b, INTER_AS) for i, a in enumerate(brs) for b in brs[i + 1 :]
+        )
 
         # Intra-AS tier: access gateways.
+        ag_nodes: List[NetworkNode] = []
+        ag_links: List[tuple] = []
         for b in range(spec.num_border_routers):
             br = self.br_id(b)
-            ags_here: List[str] = []
-            for g in range(spec.ags_per_br):
-                ag = self.ag_id(b, g)
-                network.add_node(NetworkNode(node_id=ag, kind="AG", tier=2))
-                arch.access_gateways.append(ag)
+            ags_here = [self.ag_id(b, g) for g in range(spec.ags_per_br)]
+            for ag in ags_here:
+                ag_nodes.append(NetworkNode(node_id=ag, kind="AG", tier=2))
                 arch.ag_parent[ag] = br
-                network.add_link(ag, br, INTRA_AS)
-                ags_here.append(ag)
+                ag_links.append((ag, br, INTRA_AS))
+            arch.access_gateways.extend(ags_here)
             # Gateways of the same AS can reach each other directly.
-            for i, a in enumerate(ags_here):
-                for other in ags_here[i + 1 :]:
-                    network.add_link(a, other, INTRA_AS)
+            ag_links.extend(
+                (a, other, INTRA_AS)
+                for i, a in enumerate(ags_here)
+                for other in ags_here[i + 1 :]
+            )
+        network.add_nodes(ag_nodes)
+        network.add_links(ag_links)
 
-        # Wireless access network tier: access proxies.
+        # Wireless access network tier: access proxies.  One vectorised draw
+        # decides every AP's access-network kind.
+        num_aps = spec.num_border_routers * spec.ags_per_br * spec.aps_per_ag
+        kind_draws = self._rng.choice(len(kinds), size=num_aps, p=kind_weights)
+        ap_nodes: List[NetworkNode] = []
+        ap_links: List[tuple] = []
+        draw_index = 0
         for b in range(spec.num_border_routers):
             for g in range(spec.ags_per_br):
                 ag = self.ag_id(b, g)
-                aps_here: List[str] = []
-                for p in range(spec.aps_per_ag):
-                    ap = self.ap_id(b, g, p)
-                    kind = kinds[int(self._rng.choice(len(kinds), p=kind_weights))]
-                    network.add_node(
+                aps_here = [self.ap_id(b, g, p) for p in range(spec.aps_per_ag)]
+                for ap in aps_here:
+                    kind = kinds[int(kind_draws[draw_index])]
+                    draw_index += 1
+                    ap_nodes.append(
                         NetworkNode(
                             node_id=ap,
                             kind="AP",
@@ -138,25 +154,36 @@ class TopologyGenerator:
                             metadata={"access_network": kind.value},
                         )
                     )
-                    arch.access_proxies.append(ap)
                     arch.ap_parent[ap] = ag
                     arch.ap_access_network[ap] = kind
-                    network.add_link(ap, ag, INTRA_AS)
-                    aps_here.append(ap)
+                    ap_links.append((ap, ag, INTRA_AS))
+                arch.access_proxies.extend(aps_here)
                 # APs under one gateway share the access network's wired side.
-                for i, a in enumerate(aps_here):
-                    for other in aps_here[i + 1 :]:
-                        network.add_link(a, other, INTRA_AS)
+                ap_links.extend(
+                    (a, other, INTRA_AS)
+                    for i, a in enumerate(aps_here)
+                    for other in aps_here[i + 1 :]
+                )
+        network.add_nodes(ap_nodes)
+        network.add_links(ap_links)
 
-        # Mobile host tier.
+        # Mobile host tier: one vectorised draw for every host's device class.
+        num_hosts = len(arch.access_proxies) * spec.hosts_per_ap
+        device_draws = (
+            self._rng.integers(len(MOBILE_HOST_CLASSES), size=num_hosts)
+            if num_hosts
+            else ()
+        )
+        mh_nodes: List[NetworkNode] = []
+        mh_links: List[tuple] = []
         host_index = 0
         for ap in arch.access_proxies:
             profile = access_network_profile(arch.ap_access_network[ap])
             for _ in range(spec.hosts_per_ap):
                 mh = self.mh_id(host_index)
+                device = MOBILE_HOST_CLASSES[int(device_draws[host_index])]
                 host_index += 1
-                device = MOBILE_HOST_CLASSES[int(self._rng.integers(len(MOBILE_HOST_CLASSES)))]
-                network.add_node(
+                mh_nodes.append(
                     NetworkNode(
                         node_id=mh,
                         kind="MH",
@@ -167,8 +194,11 @@ class TopologyGenerator:
                 arch.mobile_hosts.append(mh)
                 arch.host_attachment[mh] = ap
                 arch.host_device_class[mh] = device
-                network.add_link(mh, ap, profile.edge_latency)
+                mh_links.append((mh, ap, profile.edge_latency))
+        network.add_nodes(mh_nodes)
+        network.add_links(mh_links)
 
+        arch.invalidate_indexes()
         arch.validate()
         return GeneratedTopology(network=network, architecture=arch)
 

@@ -50,7 +50,12 @@ from repro.baselines.driver import (
     ring_shape_for_proxies as shape_for_proxies,
 )
 from repro.sim.faults import FaultPlan
-from repro.sim.harness import HarnessConfig, ScenarioHarness
+from repro.sim.harness import (
+    HarnessConfig,
+    ScenarioHarness,
+    TopologySnapshot,
+    build_topology_snapshot,
+)
 from repro.sim.mobility import AttachmentEvent, HandoffEvent, MobilityModel
 from repro.sim.rng import RandomStreams
 from repro.sim.stats import RunRecord
@@ -129,7 +134,11 @@ def _gc_paused() -> Iterator[None]:
         gc.collect()
 
 
-def _build_harness(cell: MatrixCell, trace_enabled: bool = False) -> ScenarioHarness:
+def _build_harness(
+    cell: MatrixCell,
+    trace_enabled: bool = False,
+    snapshot: Optional[TopologySnapshot] = None,
+) -> ScenarioHarness:
     ring_size, height = shape_for_proxies(cell.num_proxies)
     return ScenarioHarness(
         HarnessConfig(
@@ -138,8 +147,42 @@ def _build_harness(cell: MatrixCell, trace_enabled: bool = False) -> ScenarioHar
             seed=cell.seed,
             loss=cell.loss,
             trace_enabled=trace_enabled,
-        )
+        ),
+        snapshot=snapshot,
     )
+
+
+class TopologySnapshotCache:
+    """Process-local cache of frozen harness topologies, one per shape.
+
+    A matrix sweep visits the same ``(ring_size, height)`` configuration for
+    every loss-rate × scenario × seed cell; this cache builds it once,
+    freezes it via pickle (:func:`repro.sim.harness.build_topology_snapshot`)
+    and hands every cell its own rehydrated copy.  Only ``rgb`` cells consume
+    snapshots — baseline drivers build their own (much cheaper) site state.
+    See the snapshot docstring for the invalidation rules.
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: Dict[Tuple[int, int], TopologySnapshot] = {}
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def for_shape(self, ring_size: int, height: int) -> TopologySnapshot:
+        key = (ring_size, height)
+        snapshot = self._snapshots.get(key)
+        if snapshot is None:
+            snapshot = build_topology_snapshot(ring_size, height)
+            self._snapshots[key] = snapshot
+        return snapshot
+
+    def for_cell(self, cell: MatrixCell) -> Optional[TopologySnapshot]:
+        """The cell's snapshot (building it on first use); None for baselines."""
+        if cell.protocol != "rgb":
+            return None
+        ring_size, height = shape_for_proxies(cell.num_proxies)
+        return self.for_shape(ring_size, height)
 
 
 # ----------------------------------------------------------------------
@@ -452,13 +495,18 @@ def run_ablation_cell(cell: MatrixCell, events: int = 24) -> CellResult:
 
 
 def run_matrix_cell(
-    cell: MatrixCell, events: int = 24, trace_enabled: bool = False
+    cell: MatrixCell,
+    events: int = 24,
+    trace_enabled: bool = False,
+    snapshot: Optional[TopologySnapshot] = None,
 ) -> CellResult:
     """Run one matrix cell.
 
     ``rgb`` cells drive the full event-driven harness (the original matrix
     semantics); baseline-protocol cells replay the same seeded workload
     through the :class:`repro.baselines.driver.MembershipProtocol` seam.
+    With ``snapshot`` the harness rehydrates a pre-built topology instead of
+    rebuilding it; the cell's record is bit-identical either way.
     """
     if cell.protocol != "rgb":
         return run_ablation_cell(cell, events=events)
@@ -466,7 +514,7 @@ def run_matrix_cell(
         raise ValueError(f"events must be >= 1, got {events}")
     with _gc_paused():
         start = time.perf_counter()
-        harness = _build_harness(cell, trace_enabled=trace_enabled)
+        harness = _build_harness(cell, trace_enabled=trace_enabled, snapshot=snapshot)
         partition_counts: List[int] = []
         if cell.scenario == "churn":
             scheduled = _schedule_churn(harness, cell, events)
@@ -531,8 +579,11 @@ class ScenarioMatrix:
 
     def run(self, progress: bool = False) -> List[CellResult]:
         results = []
+        snapshots = TopologySnapshotCache()
         for cell in self.cells():
-            result = run_matrix_cell(cell, events=self.events_per_cell)
+            result = run_matrix_cell(
+                cell, events=self.events_per_cell, snapshot=snapshots.for_cell(cell)
+            )
             if progress:
                 status = "ok" if (result.converged and result.ring_agreement) else "INCOMPLETE"
                 print(

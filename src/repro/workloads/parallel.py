@@ -35,12 +35,14 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.sim.harness import TopologySnapshot
 from repro.sim.stats import RunRecord
 from repro.workloads.matrix import (
     AblationSweep,
     CellResult,
     MatrixCell,
     ScenarioMatrix,
+    TopologySnapshotCache,
     run_ablation_cell,
     run_matrix_cell,
 )
@@ -119,19 +121,36 @@ def result_fingerprint(result: CellResult) -> Dict[str, object]:
     }
 
 
-#: Worker payload: (cell, events per cell, use the sequential ablation replay).
-_WorkerPayload = Tuple[MatrixCell, int, bool]
+#: Worker payload: (cell, events per cell, use the sequential ablation replay,
+#: snapshot-table key or None).
+_WorkerPayload = Tuple[MatrixCell, int, bool, Optional[Tuple[int, int]]]
 _WorkerOutcome = Tuple[str, Union[CellResult, CellFailure]]
+
+#: Frozen topology snapshots by (ring_size, height), installed in each worker
+#: by the pool initializer (and in this process for the jobs=1 path).  The
+#: payloads carry only the *key*: shipping the snapshot bytes once per worker
+#: instead of once per cell keeps the pickle traffic through the pool's pipes
+#: independent of the cell count.
+_WORKER_SNAPSHOTS: Dict[Tuple[int, int], TopologySnapshot] = {}
+
+
+def _install_worker_snapshots(snapshots: Dict[Tuple[int, int], TopologySnapshot]) -> None:
+    """Pool initializer: make the sweep's snapshots visible to this worker."""
+    _WORKER_SNAPSHOTS.clear()
+    _WORKER_SNAPSHOTS.update(snapshots)
 
 
 def _run_cell_worker(payload: _WorkerPayload) -> _WorkerOutcome:
     """Run one cell in a pool worker; never raises (failure isolation)."""
-    cell, events, ablation = payload
+    cell, events, ablation, snapshot_key = payload
     try:
         if ablation:
             result = run_ablation_cell(cell, events=events)
         else:
-            result = run_matrix_cell(cell, events=events)
+            snapshot = (
+                _WORKER_SNAPSHOTS.get(snapshot_key) if snapshot_key is not None else None
+            )
+            result = run_matrix_cell(cell, events=events, snapshot=snapshot)
         return ("ok", result)
     except BaseException as exc:  # noqa: BLE001 - isolate *any* cell crash
         return (
@@ -168,15 +187,36 @@ def run_cells(
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     start = time.perf_counter()
-    payloads: List[_WorkerPayload] = [(cell, events, ablation) for cell in cells]
+
+    # Freeze each distinct topology shape once in the parent; workers get the
+    # whole table through the pool initializer (for fork pools the bytes are
+    # inherited copy-on-write, for spawn pools they ship once per worker).
+    snapshot_table: Dict[Tuple[int, int], TopologySnapshot] = {}
+    payloads: List[_WorkerPayload] = []
+    if not ablation:
+        cache = TopologySnapshotCache()
+        for cell in cells:
+            snapshot = cache.for_cell(cell)
+            key = None
+            if snapshot is not None:
+                key = (snapshot.ring_size, snapshot.height)
+                snapshot_table[key] = snapshot
+            payloads.append((cell, events, ablation, key))
+    else:
+        payloads = [(cell, events, ablation, None) for cell in cells]
     jobs = min(jobs, max(1, len(payloads)))
 
     report = ParallelRunReport(jobs=jobs)
     if jobs == 1:
+        _install_worker_snapshots(snapshot_table)
         _collect(report, map(_run_cell_worker, payloads), progress)
     else:
         context = _pool_context()
-        pool = context.Pool(processes=jobs)
+        pool = context.Pool(
+            processes=jobs,
+            initializer=_install_worker_snapshots,
+            initargs=(snapshot_table,),
+        )
         try:
             # imap (not imap_unordered): input-order results, streamed so the
             # progress line appears as each cell completes.

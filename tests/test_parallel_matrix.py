@@ -114,10 +114,10 @@ def test_failure_is_isolated_per_cell(monkeypatch):
 
     real = parallel_mod.run_matrix_cell
 
-    def explode(cell, events=24):
+    def explode(cell, events=24, snapshot=None):
         if cell.seed == 1:
             raise RuntimeError("boom in worker")
-        return real(cell, events=events)
+        return real(cell, events=events, snapshot=snapshot)
 
     monkeypatch.setattr(parallel_mod, "run_matrix_cell", explode)
     cells = [
@@ -142,10 +142,10 @@ def test_failure_is_isolated_per_cell_in_pool(monkeypatch):
 
     real = parallel_mod.run_matrix_cell
 
-    def explode(cell, events=24):
+    def explode(cell, events=24, snapshot=None):
         if cell.seed == 1:
             raise RuntimeError("boom in worker")
-        return real(cell, events=events)
+        return real(cell, events=events, snapshot=snapshot)
 
     monkeypatch.setattr(parallel_mod, "run_matrix_cell", explode)
     cells = [
