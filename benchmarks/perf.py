@@ -74,15 +74,30 @@ class BenchResult:
             "build_seconds": round(self.build_seconds, 4),
             "peak_rss_mb": round(self.peak_rss_mb, 1),
             "repeats": self.repeats,
-            # Recorded per entry because partial runs merge into the existing
-            # BENCH_perf.json: carried-over entries keep the environment they
-            # were actually measured on.
-            "python": platform.python_version(),
-            "platform": platform.platform(),
         }
         if self.extra:
             payload["extra"] = {k: round(v, 4) for k, v in sorted(self.extra.items())}
         return payload
+
+
+def environment_block() -> Dict[str, str]:
+    """Interpreter/platform identification, recorded once per report.
+
+    Per-result copies would only repeat it: partial runs merge into the
+    existing ``BENCH_perf.json`` on the same machine, and cross-machine
+    merges are already meaningless for the timings themselves.
+    """
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unavailable"
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "numpy": numpy_version,
+    }
 
 
 def _peak_rss_mb() -> float:
@@ -217,12 +232,59 @@ def _bench_kernel_4k() -> Tuple[float, Dict[str, float]]:
     }
 
 
+@bench("kernel_propagate_4k_columnar", SMALL)
+def _bench_kernel_4k_columnar() -> Tuple[float, Dict[str, float]]:
+    """The ``kernel_propagate_4k`` workload on the columnar backend.
+
+    Same joins, same rounds, bit-identical protocol state — the pair of
+    benches keeps the backends' relative cost visible at a size where the
+    object kernel is still comfortable.
+    """
+    from repro.core.config import ProtocolConfig
+    from repro.core.hierarchy import HierarchyBuilder
+    from repro.core.one_round import OneRoundEngine
+
+    build_start = time.perf_counter()
+    hierarchy = HierarchyBuilder("bench").regular(ring_size=8, height=4)
+    engine = OneRoundEngine(
+        hierarchy, config=ProtocolConfig(aggregation_delay=0.0), backend="columnar"
+    )
+    build_seconds = time.perf_counter() - build_start
+    aps = hierarchy.access_proxies()
+    stride = max(1, len(aps) // 32)
+    for index in range(32):
+        engine.member_join(aps[(index * stride) % len(aps)], f"bench-{index:04d}")
+    start = time.perf_counter()
+    report = engine.propagate()
+    elapsed = time.perf_counter() - start
+    return elapsed, {
+        "rounds": float(report.round_count),
+        "hop_count": float(report.hop_count),
+        "build_seconds": build_seconds,
+    }
+
+
 @bench("matrix_churn_1k", SMALL)
 def _bench_matrix_1k() -> Tuple[float, Dict[str, float]]:
     """One 1k-proxy churn cell through the event-driven harness."""
     from repro.workloads.matrix import MatrixCell, run_matrix_cell
 
     cell = MatrixCell(scenario="churn", num_proxies=1_000, loss=0.0, seed=0)
+    start = time.perf_counter()
+    result = run_matrix_cell(cell, events=16)
+    elapsed = time.perf_counter() - start
+    assert result.converged and result.ring_agreement
+    return elapsed, {"dispatched_events": float(result.dispatched_events)}
+
+
+@bench("matrix_churn_1k_columnar", SMALL)
+def _bench_matrix_1k_columnar() -> Tuple[float, Dict[str, float]]:
+    """The 1k churn cell with the columnar kernel behind the harness."""
+    from repro.workloads.matrix import MatrixCell, run_matrix_cell
+
+    cell = MatrixCell(
+        scenario="churn", num_proxies=1_000, loss=0.0, seed=0, backend="columnar"
+    )
     start = time.perf_counter()
     result = run_matrix_cell(cell, events=16)
     elapsed = time.perf_counter() - start
@@ -248,17 +310,19 @@ def _bench_matrix_10k() -> Tuple[float, Dict[str, float]]:
     return elapsed, {"dispatched_events": float(result.dispatched_events)}
 
 
-@bench("large_scale_1m", FULL, repeats=1)
-def _bench_large_scale_1m() -> Tuple[float, Dict[str, float]]:
-    """1M-proxy (r=10, h=6) structural propagation of a 4-join burst.
+def _large_scale_bench(height: int) -> Tuple[float, Dict[str, float]]:
+    """r=10 structural propagation of a 4-join burst on the columnar backend.
 
-    The dirty-ring pending set is what makes this tractable: the seed's
-    ``pending_rings`` scanned all 111 111 rings x 10 members per sweep.
+    The dirty-ring pending set (PR 4) made million-proxy sweeps tractable;
+    the columnar backend's proven-no-op fast path took the per-round cost
+    off the CPython object graph entirely (dense index arithmetic instead
+    of identifier-keyed dict probes, see :mod:`repro.core.columnar`).
     ``build_seconds`` measures the bulk construction path (hierarchy +
-    entity states + kernel wiring) under the library's own
+    entity states + kernel wiring + columnar store) under the library's own
     :func:`repro.core.hierarchy.paused_gc` — the way every at-scale caller
-    (matrix cells included) runs construction; propagation runs with the
-    default collector state.
+    (matrix cells included) runs construction; propagation manages the
+    collector itself (the columnar propagate pauses it, exactly as callers
+    experience it).
     """
     from repro.core.config import ProtocolConfig
     from repro.core.hierarchy import HierarchyBuilder, paused_gc
@@ -266,8 +330,12 @@ def _bench_large_scale_1m() -> Tuple[float, Dict[str, float]]:
 
     build_start = time.perf_counter()
     with paused_gc():
-        hierarchy = HierarchyBuilder("bench").regular(ring_size=10, height=6)
-        engine = OneRoundEngine(hierarchy, config=ProtocolConfig(aggregation_delay=0.0))
+        hierarchy = HierarchyBuilder("bench").regular(ring_size=10, height=height)
+        engine = OneRoundEngine(
+            hierarchy,
+            config=ProtocolConfig(aggregation_delay=0.0),
+            backend="columnar",
+        )
     build_seconds = time.perf_counter() - build_start
     aps = hierarchy.access_proxies()
     for index in range(4):
@@ -282,6 +350,23 @@ def _bench_large_scale_1m() -> Tuple[float, Dict[str, float]]:
         "rounds": float(report.round_count),
         "hop_count": float(report.hop_count),
     }
+
+
+@bench("large_scale_1m", FULL, repeats=1)
+def _bench_large_scale_1m() -> Tuple[float, Dict[str, float]]:
+    """1M-proxy (r=10, h=6) propagation; columnar backend since PR 6."""
+    return _large_scale_bench(height=6)
+
+
+@bench("large_scale_10m", FULL, repeats=1)
+def _bench_large_scale_10m() -> Tuple[float, Dict[str, float]]:
+    """10M-proxy (r=10, h=7) propagation — the first 10M-scale bench.
+
+    Only feasible on the columnar backend (the object kernel's per-round
+    object churn puts this past the ten-minute mark); runs in the nightly
+    slow tier, never in PR CI.
+    """
+    return _large_scale_bench(height=7)
 
 
 # ----------------------------------------------------------------------
@@ -450,10 +535,15 @@ def speedup_summary(
     reference: Dict[str, float] = baseline.get("reference", {})  # type: ignore[assignment]
     summary: Dict[str, float] = {}
     seed_10k = reference.get("matrix_churn_10k_seed_seconds")
+    object_1m = reference.get("large_scale_1m_object_seconds")
     for result in results:
         if result.name == "matrix_churn_10k" and seed_10k:
             summary["matrix_churn_10k_speedup_vs_seed"] = round(
                 float(seed_10k) / result.seconds, 2
+            )
+        if result.name == "large_scale_1m" and object_1m:
+            summary["large_scale_1m_speedup_vs_object"] = round(
+                float(object_1m) / result.seconds, 2
             )
     return summary
 
@@ -486,8 +576,7 @@ def write_report(
     merged_speedups.update(speedup_summary(results, baseline))
     payload: Dict[str, object] = {
         "benchmark": "named perf benches (see docs/PERF.md)",
-        "python": platform.python_version(),
-        "platform": platform.platform(),
+        "environment": environment_block(),
         "results": merged,
         "speedups": merged_speedups,
         "baseline": {
@@ -537,6 +626,9 @@ def update_baseline(
         bands[result.name] = band
     baseline = dict(baseline)
     baseline["benches"] = bands
+    # Record the environment the bands were (re-)pinned on; partial re-pins
+    # overwrite it deliberately — the freshest pin defines the reference.
+    baseline["environment"] = environment_block()
     path.write_text(json.dumps(baseline, indent=2) + "\n")
 
 

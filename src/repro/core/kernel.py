@@ -80,16 +80,28 @@ def stale_for(applied: Optional[Mapping[str, int]], op: TokenOperation) -> bool:
 
 
 class _RingDirtyMarker:
-    """Bound ``on_enqueue`` hook: marks one ring as having queued work."""
+    """Bound ``on_enqueue`` hook: marks one ring as having queued work.
 
-    __slots__ = ("_add", "_ring_id")
+    The columnar backend additionally wires ``_hints``/``_hint_idx`` (see
+    ``ColumnarStore.ring_work_hint``): every enqueue then degrades the
+    ring's work hint to "unknown" so a stale "no work"/"only position p"
+    claim can never survive an insert.  Unwired (object-kernel) markers pay
+    one attribute read and a falsy test per enqueue.
+    """
+
+    __slots__ = ("_add", "_ring_id", "_hints", "_hint_idx")
 
     def __init__(self, add, ring_id: str) -> None:
         self._add = add
         self._ring_id = ring_id
+        self._hints: Optional[List[int]] = None
+        self._hint_idx = -1
 
     def __call__(self) -> None:
         self._add(self._ring_id)
+        hints = self._hints
+        if hints is not None:
+            hints[self._hint_idx] = -2
 
 
 class MessageDispatch:
@@ -1406,3 +1418,42 @@ class TokenRoundKernel:
         raise ProtocolError(
             f"propagation did not converge within {max_iterations} iterations"
         )
+
+
+# ----------------------------------------------------------------------
+# backend selection
+# ----------------------------------------------------------------------
+
+#: Available kernel implementations.  ``object`` is the reference kernel in
+#: this module; ``columnar`` is the struct-of-arrays backend in
+#: :mod:`repro.core.columnar` (bit-identical protocol state, with a
+#: proven-no-op fast path for rounds that cannot change any view).
+KERNEL_BACKENDS: Tuple[str, ...] = ("object", "columnar")
+
+
+def create_kernel(
+    hierarchy: RingHierarchy,
+    *,
+    backend: str = "object",
+    store_payload: Optional[bytes] = None,
+    **kwargs,
+) -> TokenRoundKernel:
+    """Construct a kernel for ``hierarchy`` with the selected backend.
+
+    ``store_payload`` (columnar only) is the serialised
+    :class:`repro.core.columnar.ColumnarStore` structural arrays shipped by
+    a topology snapshot, so rehydration skips re-deriving them from the
+    object graph.  All other keyword arguments pass straight through to the
+    kernel constructor.
+    """
+    if backend not in KERNEL_BACKENDS:
+        raise ProtocolError(
+            f"unknown kernel backend {backend!r}; expected one of {KERNEL_BACKENDS}"
+        )
+    if backend == "columnar":
+        # Imported lazily: the object backend must keep working on
+        # interpreters without numpy.
+        from repro.core.columnar import ColumnarKernel
+
+        return ColumnarKernel(hierarchy, store_payload=store_payload, **kwargs)
+    return TokenRoundKernel(hierarchy, **kwargs)

@@ -55,7 +55,7 @@ from repro.core.kernel import (
     PropagationReport,
     ProtocolError,
     RoundResult,
-    TokenRoundKernel,
+    create_kernel,
 )
 from repro.core.member import MemberInfo
 from repro.core.token import TokenOperation
@@ -85,6 +85,11 @@ class OneRoundEngine:
         Protocol tunables.
     metrics, event_bus, trace:
         Optional shared instrumentation.
+    backend:
+        Kernel implementation: ``"object"`` (the reference kernel) or
+        ``"columnar"`` (the struct-of-arrays backend in
+        :mod:`repro.core.columnar`; identical protocol state, large-scale
+        propagation speedup).
     """
 
     def __init__(
@@ -94,9 +99,11 @@ class OneRoundEngine:
         metrics: Optional[MetricRegistry] = None,
         event_bus: Optional[MembershipEventBus] = None,
         trace: Optional[TraceRecorder] = None,
+        backend: str = "object",
     ) -> None:
-        self.kernel = TokenRoundKernel(
+        self.kernel = create_kernel(
             hierarchy,
+            backend=backend,
             config=config,
             metrics=metrics,
             event_bus=event_bus,

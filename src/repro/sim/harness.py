@@ -40,7 +40,13 @@ from repro.core.config import ProtocolConfig
 from repro.core.events import MembershipEventBus
 from repro.core.hierarchy import HierarchyBuilder, RingHierarchy, paused_gc
 from repro.core.identifiers import NodeId, coerce_node
-from repro.core.kernel import MessageDispatch, TokenRoundKernel, stale_for
+from repro.core.kernel import (
+    KERNEL_BACKENDS,
+    MessageDispatch,
+    TokenRoundKernel,
+    create_kernel,
+    stale_for,
+)
 from repro.core.member import MemberInfo
 from repro.core.partition import PartitionReport, detect_partitions
 from repro.core.token import TokenOperation
@@ -99,6 +105,10 @@ class HarnessConfig:
         (``round_delay`` plays that role on the event queue).
     trace_enabled, trace_capacity:
         Structured trace recording (golden-trace tests switch this on).
+    backend:
+        Kernel implementation (``"object"`` or ``"columnar"``); both produce
+        bit-identical protocol state, the columnar backend trades a denser
+        in-memory layout for large-scale propagation speed.
     """
 
     ring_size: int = 4
@@ -115,8 +125,14 @@ class HarnessConfig:
     protocol: ProtocolConfig = field(default_factory=lambda: ProtocolConfig(aggregation_delay=0.0))
     trace_enabled: bool = False
     trace_capacity: Optional[int] = None
+    backend: str = "object"
 
     def __post_init__(self) -> None:
+        if self.backend not in KERNEL_BACKENDS:
+            raise HarnessError(
+                f"unknown kernel backend {self.backend!r}; expected one of "
+                f"{KERNEL_BACKENDS}"
+            )
         if self.ring_size < 2:
             raise HarnessError(f"ring_size must be >= 2, got {self.ring_size}")
         if self.height < 1:
@@ -297,11 +313,19 @@ class TopologySnapshot:
     Anything that changes the *built structure* (builder logic, ring layout)
     invalidates by construction: snapshots are process-local, never persisted
     to disk, and rebuilt on first use by every new process.
+
+    ``columnar`` optionally ships the columnar backend's structural arrays
+    (``ColumnarStore.to_payload``), so a cell running ``backend="columnar"``
+    rehydrates the store straight from the arrays instead of re-deriving it
+    from rehydrated ring objects.  The store validates the arrays against
+    the hierarchy's shape on load and silently rebuilds on mismatch, so a
+    stale pairing costs speed, never correctness.
     """
 
     ring_size: int
     height: int
     payload: bytes
+    columnar: Optional[bytes] = None
 
 
 def build_topology_snapshot(ring_size: int, height: int) -> TopologySnapshot:
@@ -309,7 +333,15 @@ def build_topology_snapshot(ring_size: int, height: int) -> TopologySnapshot:
     with paused_gc():
         hierarchy = HierarchyBuilder("harness").regular(ring_size=ring_size, height=height)
         payload = pickle.dumps(hierarchy, protocol=pickle.HIGHEST_PROTOCOL)
-    return TopologySnapshot(ring_size=ring_size, height=height, payload=payload)
+        try:
+            from repro.core.columnar import ColumnarStore
+
+            columnar = ColumnarStore.from_hierarchy(hierarchy).to_payload()
+        except ImportError:  # pragma: no cover - numpy is a hard dep in CI
+            columnar = None
+    return TopologySnapshot(
+        ring_size=ring_size, height=height, payload=payload, columnar=columnar
+    )
 
 
 def _build_harness_network(hierarchy: RingHierarchy, latency: LatencyModel) -> Network:
@@ -403,8 +435,12 @@ class ScenarioHarness:
         # the fully evented path inside the transport.
         self.transport.mark_fire_and_forget(MSG_TOKEN, MSG_HOLDER_ACK)
         self.dispatch = TransportDispatch(self)
-        self.kernel = TokenRoundKernel(
+        kernel_kwargs = {}
+        if cfg.backend != "object" and snapshot is not None and snapshot.columnar:
+            kernel_kwargs["store_payload"] = snapshot.columnar
+        self.kernel = create_kernel(
             self.hierarchy,
+            backend=cfg.backend,
             config=cfg.protocol,
             metrics=self.metrics,
             event_bus=self.event_bus,
@@ -412,6 +448,7 @@ class ScenarioHarness:
             dispatch=self.dispatch,
             entities=states,
             entities_pristine=True,
+            **kernel_kwargs,
         )
         self.faults = FaultInjector(
             self.engine,

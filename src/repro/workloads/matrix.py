@@ -49,6 +49,8 @@ from repro.baselines.driver import (
     build_protocol,
     ring_shape_for_proxies as shape_for_proxies,
 )
+from repro.core.identifiers import clear_intern_tables
+from repro.core.kernel import KERNEL_BACKENDS
 from repro.sim.faults import FaultPlan
 from repro.sim.harness import (
     HarnessConfig,
@@ -70,27 +72,42 @@ PROTOCOLS: Tuple[str, ...] = PROTOCOL_NAMES
 
 @dataclass(frozen=True)
 class MatrixCell:
-    """One cell of the scenario matrix."""
+    """One cell of the scenario matrix.
+
+    ``backend`` selects the kernel implementation for ``rgb`` cells
+    (``"object"`` or ``"columnar"``).  It deliberately stays out of the
+    cell's :class:`RunRecord` params: both backends produce bit-identical
+    records (pinned by ``tests/test_columnar_backend.py``), so the
+    fingerprint must not depend on which one ran.
+    """
 
     scenario: str
     num_proxies: int
     loss: float
     seed: int = 0
     protocol: str = "rgb"
+    backend: str = "object"
 
     def __post_init__(self) -> None:
         if self.scenario not in SCENARIOS:
             raise ValueError(f"unknown scenario {self.scenario!r} (have {SCENARIOS})")
         if self.protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {self.protocol!r} (have {PROTOCOLS})")
+        if self.backend not in KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r} (have {KERNEL_BACKENDS})"
+            )
         shape_for_proxies(self.num_proxies)  # validates early
 
     @property
     def label(self) -> str:
-        return (
+        base = (
             f"{self.protocol}/{self.scenario}/n={self.num_proxies}"
             f"/loss={self.loss:g}/seed={self.seed}"
         )
+        if self.backend != "object":
+            base += f"/backend={self.backend}"
+        return base
 
 
 @dataclass
@@ -147,6 +164,7 @@ def _build_harness(
             seed=cell.seed,
             loss=cell.loss,
             trace_enabled=trace_enabled,
+            backend=cell.backend,
         ),
         snapshot=snapshot,
     )
@@ -564,12 +582,13 @@ class ScenarioMatrix:
     protocols: Sequence[str] = ("rgb",)
     seed: int = 0
     events_per_cell: int = 24
+    backend: str = "object"
 
     def cells(self) -> List[MatrixCell]:
         return [
             MatrixCell(
                 scenario=scenario, num_proxies=size, loss=loss, seed=self.seed,
-                protocol=protocol,
+                protocol=protocol, backend=self.backend,
             )
             for protocol in self.protocols
             for scenario in self.scenarios
@@ -592,6 +611,11 @@ class ScenarioMatrix:
                     flush=True,
                 )
             results.append(result)
+            # Identifiers intern per-process; without this a long sweep pins
+            # every cell's node/GUID strings for the lifetime of the run.
+            # Results hold only plain strings/floats, and snapshot payloads
+            # re-intern on rehydration, so the reset is invisible to output.
+            clear_intern_tables()
         return results
 
 
@@ -637,6 +661,7 @@ class AblationSweep:
                     flush=True,
                 )
             results.append(result)
+            clear_intern_tables()  # same per-cell reset as ScenarioMatrix.run
         return results
 
 
@@ -651,6 +676,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--events", type=int, default=24, help="workload events per cell")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--backend", choices=list(KERNEL_BACKENDS), default="object",
+        help="kernel backend for rgb cells (records are backend-independent)",
+    )
     parser.add_argument("--out", type=str, default=None, help="write records as JSON")
     parser.add_argument(
         "--jobs",
@@ -667,6 +696,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         protocols=args.protocols,
         seed=args.seed,
         events_per_cell=args.events,
+        backend=args.backend,
     )
     if args.jobs > 1:
         from repro.workloads.parallel import run_matrix as run_matrix_parallel

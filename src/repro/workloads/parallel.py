@@ -35,6 +35,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.core.identifiers import clear_intern_tables
 from repro.sim.harness import TopologySnapshot
 from repro.sim.stats import RunRecord
 from repro.workloads.matrix import (
@@ -157,6 +158,13 @@ def _run_cell_worker(payload: _WorkerPayload) -> _WorkerOutcome:
             "error",
             CellFailure(cell=cell, error=repr(exc), traceback=traceback.format_exc()),
         )
+    finally:
+        # Pool workers are long-lived and process many cells; without this
+        # each finished cell's interned node/GUID identifiers stay pinned
+        # for the worker's lifetime (the sweep-level analogue of the reset
+        # in ScenarioMatrix.run).  Snapshots re-intern on rehydration and
+        # results carry only plain strings, so output is unaffected.
+        clear_intern_tables()
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:

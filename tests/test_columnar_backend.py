@@ -1,0 +1,291 @@
+"""Object-vs-columnar kernel backend equivalence.
+
+The contract under test (``repro.core.columnar``): the columnar backend is a
+pure execution-strategy change.  Every observable — membership views, ring
+seen-sets, applied-sequence maps, holder pointers, hop/round counters, the
+full :class:`RunRecord` of a harness run — is bit-identical to the object
+kernel, across scenarios, loss rates, failures/repairs, and parallel
+sharding.  The fast path may only ever *decline* (fall back to the object
+round); it must never change state.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.columnar import ColumnarKernel, ColumnarStore
+from repro.core.hierarchy import HierarchyBuilder
+from repro.core.identifiers import clear_intern_tables
+from repro.core.one_round import OneRoundEngine
+from repro.sim.harness import HarnessConfig, ScenarioHarness, build_topology_snapshot
+from repro.workloads.matrix import MatrixCell, run_matrix_cell
+from repro.workloads.parallel import record_fingerprint, result_fingerprint, run_cells
+
+SCENARIOS = ("churn", "handoff_storm", "partition_merge", "mobility_trace")
+LOSSES = (0.0, 0.01, 0.05)
+
+
+# ---------------------------------------------------------------------------
+# structural engine: full protocol state must match
+# ---------------------------------------------------------------------------
+
+
+def _engine_state(engine: OneRoundEngine, reports) -> dict:
+    """Everything observable about an engine run, in comparable form."""
+    kernel = engine.kernel
+    return {
+        "guids": sorted(engine.global_guids()),
+        "rounds": [
+            (
+                len(rep.rounds),
+                sum(r.token_hops for r in rep.rounds),
+                sum(r.notify_hops for r in rep.rounds),
+                sum(r.ack_hops for r in rep.rounds),
+                sum(r.retransmissions for r in rep.rounds),
+                [
+                    str(n)
+                    for r in rep.rounds
+                    for n in ([r.ring_id, r.holder] + list(r.visited))
+                ],
+            )
+            for rep in reports
+        ],
+        "counters": {name: c.value for name, c in sorted(engine.metrics.counters.items())},
+        "applied": {
+            rid: dict(sorted(m.items()))
+            for rid, m in sorted(kernel.ring_applied_seq.items())
+        },
+        "seen": {rid: sorted(s) for rid, s in sorted(kernel.ring_seen.items())},
+        "holders": {rid: str(n) for rid, n in sorted(kernel._ring_holder.items())},
+        "views": {
+            str(node): (
+                sorted(str(m.guid) for m in e.ring_members.members())
+                if e.ring_live
+                else None,
+                sorted(str(m.guid) for m in e.local_members.members())
+                if e.local_live
+                else None,
+            )
+            for node, e in sorted(engine.entities.items(), key=lambda kv: str(kv[0]))
+        },
+    }
+
+
+def _run_structural_workout(backend: str) -> dict:
+    """Joins, handoffs, leaves, a failure, a repair, and post-repair traffic."""
+    clear_intern_tables()
+    hierarchy = HierarchyBuilder().regular(ring_size=4, height=3)
+    engine = OneRoundEngine(hierarchy, backend=backend)
+    bottom = [r for r in hierarchy.rings.values() if r.tier == hierarchy.bottom_tier()]
+    aps = [r.members[0] for r in bottom]
+    reports = []
+    for i, ap in enumerate(aps[:6]):
+        engine.member_join(ap, f"guid-{i}")
+    reports.append(engine.propagate())
+    engine.member_handoff("guid-0", aps[0], aps[3])
+    engine.member_leave(aps[1], "guid-1")
+    engine.member_join(aps[4], "guid-late")
+    reports.append(engine.propagate())
+    victim = bottom[2].members[1]
+    engine.fail_entity(victim, now=1.0)
+    engine.member_join(aps[2], "guid-post-fail")
+    reports.append(engine.propagate(now=1.0))
+    engine.detect_and_repair(victim, now=2.0)
+    reports.append(engine.propagate(now=2.0))
+    engine.member_join(aps[5], "guid-after-repair")
+    engine.member_handoff("guid-late", aps[4], aps[0])
+    reports.append(engine.propagate(now=3.0))
+    return _engine_state(engine, reports)
+
+
+def test_structural_workout_identical():
+    assert _run_structural_workout("object") == _run_structural_workout("columnar")
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    ring_size=st.sampled_from((3, 4)),
+    height=st.sampled_from((2, 3)),
+    trace=st.lists(
+        st.tuples(
+            st.sampled_from(("join", "leave", "failure", "handoff", "crash", "wave")),
+            st.integers(min_value=0, max_value=10_000),
+        ),
+        min_size=3,
+        max_size=14,
+    ),
+)
+def test_random_op_traces_identical(ring_size, height, trace):
+    """Random capture/failure traces produce identical state on both backends."""
+
+    def run(backend: str) -> dict:
+        clear_intern_tables()
+        hierarchy = HierarchyBuilder().regular(ring_size=ring_size, height=height)
+        engine = OneRoundEngine(hierarchy, backend=backend)
+        aps = hierarchy.access_proxies()
+        guids: list = []
+        crashed: set = set()
+        reports = []
+        counter = 0
+        for kind, pick in trace:
+            if kind == "join":
+                guid = f"m-{counter}"
+                counter += 1
+                ap = aps[pick % len(aps)]
+                engine.member_join(ap, guid)
+                guids.append((guid, ap))
+            elif kind == "leave" and guids:
+                guid, ap = guids.pop(pick % len(guids))
+                engine.member_leave(ap, guid)
+            elif kind == "failure" and guids:
+                guid, ap = guids.pop(pick % len(guids))
+                engine.member_failure(ap, guid)
+            elif kind == "handoff" and guids:
+                index = pick % len(guids)
+                guid, old_ap = guids[index]
+                new_ap = aps[(pick // 7) % len(aps)]
+                if new_ap != old_ap:
+                    engine.member_handoff(guid, old_ap, new_ap)
+                    guids[index] = (guid, new_ap)
+            elif kind == "crash":
+                # Crash a non-AP entity and repair it (exercises the
+                # object-path fallback and the structure_dirty gate).
+                upper = [
+                    ring
+                    for ring in hierarchy.rings.values()
+                    if ring.tier != hierarchy.bottom_tier() and len(ring.members) > 2
+                ]
+                if upper:
+                    ring = upper[pick % len(upper)]
+                    victim = ring.members[pick % len(ring.members)]
+                    if victim not in crashed and victim != ring.leader:
+                        engine.fail_entity(victim, now=1.0)
+                        crashed.add(victim)
+                        engine.detect_and_repair(victim, now=1.0)
+            elif kind == "wave":
+                reports.append(engine.propagate())
+        reports.append(engine.propagate())
+        return _engine_state(engine, reports)
+
+    assert run("object") == run("columnar")
+
+
+# ---------------------------------------------------------------------------
+# harness matrix cells: full RunRecord fingerprints must match
+# ---------------------------------------------------------------------------
+
+
+def _cell_fingerprint(scenario: str, size: int, loss: float, backend: str, events: int):
+    clear_intern_tables()
+    cell = MatrixCell(
+        scenario=scenario, num_proxies=size, loss=loss, seed=0, backend=backend
+    )
+    result = run_matrix_cell(cell, events=events)
+    fp = record_fingerprint(result.record)
+    assert "backend" not in fp["params"], "backend must stay out of the fingerprint"
+    return fp
+
+
+@pytest.mark.parametrize("loss", LOSSES)
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_matrix_cell_fingerprints_identical_1k(scenario, loss):
+    assert _cell_fingerprint(scenario, 1_000, loss, "object", 10) == _cell_fingerprint(
+        scenario, 1_000, loss, "columnar", 10
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.skipif(
+    not os.environ.get("RUN_SLOW_BENCHES"),
+    reason="10k-proxy cross-backend sweep: run with RUN_SLOW_BENCHES=1 (slow CI tier)",
+)
+@pytest.mark.parametrize("loss", LOSSES)
+@pytest.mark.parametrize("scenario", SCENARIOS)
+def test_matrix_cell_fingerprints_identical_10k(scenario, loss):
+    assert _cell_fingerprint(scenario, 10_000, loss, "object", 12) == _cell_fingerprint(
+        scenario, 10_000, loss, "columnar", 12
+    )
+
+
+def test_columnar_cells_shard_bit_identically():
+    """jobs=1 == jobs=4 for columnar cells (the parallel-runner contract)."""
+    cells = [
+        MatrixCell(
+            scenario=scenario, num_proxies=16, loss=loss, seed=3, backend="columnar"
+        )
+        for scenario in ("churn", "mobility_trace")
+        for loss in (0.0, 0.05)
+    ]
+    sequential = run_cells(cells, events=8, jobs=1)
+    parallel = run_cells(cells, events=8, jobs=4)
+    assert sequential.ok and parallel.ok
+    assert [result_fingerprint(r) for r in sequential.results] == [
+        result_fingerprint(r) for r in parallel.results
+    ]
+
+
+# ---------------------------------------------------------------------------
+# columnar store plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_store_payload_roundtrip():
+    hierarchy = HierarchyBuilder().regular(ring_size=4, height=3)
+    store = ColumnarStore.from_hierarchy(hierarchy)
+    clone = ColumnarStore.from_payload(hierarchy, store.to_payload())
+    assert clone.ring_ids == store.ring_ids
+    assert clone.ring_start_i == store.ring_start_i
+    assert clone.ring_tier.tolist() == store.ring_tier.tolist()
+    assert clone.ring_parent_ring_i == store.ring_parent_ring_i
+    assert clone.ring_parent_pos_i == store.ring_parent_pos_i
+    assert clone.ring_leader_pos_i == store.ring_leader_pos_i
+    assert clone.ring_version0_i == store.ring_version0_i
+    assert clone.ring_child_total_i == store.ring_child_total_i
+    assert clone.bottom_tier == store.bottom_tier
+
+
+def test_store_payload_shape_mismatch_falls_back():
+    small = HierarchyBuilder().regular(ring_size=3, height=2)
+    big = HierarchyBuilder().regular(ring_size=4, height=2)
+    payload = ColumnarStore.from_hierarchy(small).to_payload()
+    rebuilt = ColumnarStore.from_payload(big, payload)
+    # Shape mismatch: silently rebuilt from the hierarchy, never mispaired.
+    assert len(rebuilt.ring_ids) == len(big.rings)
+    assert rebuilt.ring_start_i[-1] == sum(len(r.members) for r in big.rings.values())
+
+
+def test_snapshot_ships_columnar_arrays_and_matches_fresh_build():
+    snapshot = build_topology_snapshot(ring_size=4, height=2)
+    assert snapshot.columnar is not None
+
+    def run(with_snapshot):
+        clear_intern_tables()
+        config = HarnessConfig(ring_size=4, height=2, backend="columnar")
+        harness = ScenarioHarness(
+            config, snapshot=build_topology_snapshot(4, 2) if with_snapshot else None
+        )
+        assert isinstance(harness.kernel, ColumnarKernel)
+        harness.schedule_join(0.1, ap=harness.access_proxies()[0], guid="m-0")
+        harness.schedule_join(0.2, ap=harness.access_proxies()[5], guid="m-1")
+        outcome = harness.run()
+        return record_fingerprint(harness.run_record("snap", scenario="snap")), outcome
+
+    (fresh_record, fresh_outcome) = run(False)
+    (snap_record, snap_outcome) = run(True)
+    assert fresh_record == snap_record
+    assert fresh_outcome.converged and snap_outcome.converged
+
+
+def test_harness_config_rejects_unknown_backend():
+    with pytest.raises(Exception):
+        HarnessConfig(backend="vectorised")
+    with pytest.raises(ValueError):
+        MatrixCell(scenario="churn", num_proxies=16, loss=0.0, backend="vectorised")

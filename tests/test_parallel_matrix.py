@@ -17,7 +17,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core.identifiers import GroupId, NodeId
+from repro.core.identifiers import GroupId, NodeId, _Identifier
 from repro.core.token import Token
 from repro.sim.harness import HarnessConfig, ScenarioHarness
 from repro.workloads.matrix import MatrixCell, ScenarioMatrix, run_matrix_cell
@@ -215,6 +215,45 @@ def test_same_cell_trace_is_identical_despite_interleaved_work():
     run_matrix_cell(MatrixCell(scenario="churn", num_proxies=9, loss=0.0, seed=0), events=4)
     second = _traced_dump(seed=5)
     assert first == second
+
+
+def _intern_population() -> int:
+    tables = [_Identifier._intern]
+    stack = list(_Identifier.__subclasses__())
+    while stack:
+        cls = stack.pop()
+        tables.append(cls._intern)
+        stack.extend(cls.__subclasses__())
+    return sum(len(t) for t in tables)
+
+
+def test_sweeps_release_interned_identifiers():
+    """Matrix/worker sweeps must not pin interned node/GUID identifiers.
+
+    Before the per-cell ``clear_intern_tables()`` reset, every cell of a
+    long sweep left its whole topology's identifiers interned for the life
+    of the process (or pool worker) — unbounded growth across a matrix run.
+    """
+    from repro.core.identifiers import clear_intern_tables
+
+    clear_intern_tables()
+    baseline = _intern_population()
+
+    matrix = ScenarioMatrix(
+        sizes=(16,), losses=(0.0,), scenarios=("churn",), events_per_cell=4
+    )
+    matrix.run()
+    assert _intern_population() == baseline
+
+    # The pool-worker path (jobs=1 runs the worker in-process, so the same
+    # reset is observable here; forked workers get the identical finally).
+    report = run_cells(
+        [MatrixCell(scenario="churn", num_proxies=16, loss=0.0, seed=0)],
+        events=4,
+        jobs=1,
+    )
+    assert report.ok
+    assert _intern_population() == baseline
 
 
 def test_same_seed_identical_and_different_seeds_independent_across_processes():
