@@ -79,6 +79,7 @@ should use the object backend.
 from __future__ import annotations
 
 import io
+import warnings
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -136,6 +137,7 @@ class ColumnarStore:
         "alive_i",
         "bottom_tier",
         "structure_dirty",
+        "rebuilt_from_mismatch",
     )
 
     def __init__(
@@ -205,6 +207,10 @@ class ColumnarStore:
         # per candidate target and a numpy scalar read would dominate it.
         self.alive_i = [True] * node_count
         self.structure_dirty = False
+        # True when a shipped snapshot payload failed shape validation and
+        # the store was rebuilt from the hierarchy instead (observable via
+        # the ``harness.columnar_snapshot_rebuilt`` metric on the kernel).
+        self.rebuilt_from_mismatch = False
 
     # -- construction -------------------------------------------------------
 
@@ -294,7 +300,11 @@ class ColumnarStore:
 
         Falls back to :meth:`from_hierarchy` when the arrays do not match
         the hierarchy's shape (a snapshot/hierarchy pairing bug would
-        otherwise corrupt the fast path silently).
+        otherwise corrupt the fast path silently).  The fallback is loud:
+        it emits a :class:`RuntimeWarning` and flags the returned store
+        (``rebuilt_from_mismatch``) so the kernel can surface a metric — a
+        stale pairing costs every cell its fast path, which used to happen
+        with zero signal.
         """
         with np.load(io.BytesIO(payload), allow_pickle=False) as arrays:
             ring_start = arrays["ring_start"]
@@ -310,7 +320,19 @@ class ColumnarStore:
         if len(ring_ids) != len(ring_tier) or int(ring_start[-1]) != sum(
             len(r.members) for r in rings.values()
         ):
-            return cls.from_hierarchy(hierarchy)
+            warnings.warn(
+                "columnar snapshot payload does not match the hierarchy shape "
+                f"(payload: {len(ring_tier)} rings / {int(ring_start[-1])} nodes, "
+                f"hierarchy: {len(ring_ids)} rings / "
+                f"{sum(len(r.members) for r in rings.values())} nodes); "
+                "rebuilding the store from the hierarchy — the snapshot "
+                "pairing is stale and the shipped arrays were discarded",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            store = cls.from_hierarchy(hierarchy)
+            store.rebuilt_from_mismatch = True
+            return store
         return cls(
             ring_ids,
             ring_start,
@@ -391,6 +413,8 @@ class ColumnarKernel(TokenRoundKernel):
         with paused_gc():
             if store_payload is not None:
                 self._store = ColumnarStore.from_payload(self.hierarchy, store_payload)
+                if self._store.rebuilt_from_mismatch:
+                    self.metrics.counter("harness.columnar_snapshot_rebuilt").increment()
             else:
                 self._store = ColumnarStore.from_hierarchy(self.hierarchy)
             self._ring_rows = self._build_entity_rows()
@@ -689,7 +713,7 @@ class ColumnarKernel(TokenRoundKernel):
                 if sequence in seen:
                     continue
                 member = op.member
-                if member is not None and sequence < applied_get(member.guid.value, 0):
+                if member is not None and sequence <= applied_get(member.guid.value, 0):
                     continue
                 fresh.append(op)
         else:
@@ -763,7 +787,7 @@ class ColumnarKernel(TokenRoundKernel):
                 if sequence in seen:
                     continue
                 member = op.member
-                if member is not None and sequence < applied_get(member.guid.value, 0):
+                if member is not None and sequence <= applied_get(member.guid.value, 0):
                     continue
                 fresh.append(op)
         else:

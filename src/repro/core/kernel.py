@@ -68,15 +68,21 @@ def stale_for(applied: Optional[Mapping[str, int]], op: TokenOperation) -> bool:
 
     ``applied`` is a ring's per-member sequence high-water-mark map (may be
     ``None``/empty); hot paths hoist the map lookup and call this per op.
-    An operation is stale when the ring already circulated a *newer*
-    operation about the same member — sequences are globally monotonic in
-    capture order, so a lower-sequence operation arriving late (reordered by
-    loss + resend) must not supersede the member's most recent state.
+    An operation is stale when the ring already circulated *this very
+    operation or a newer one* about the same member — sequences are globally
+    monotonic in capture order, so a lower-sequence operation arriving late
+    (reordered by loss + resend) must not supersede the member's most recent
+    state.  Same-sequence re-deliveries (a downward dissemination looping
+    back to the ring that applied the op, a duplicate after a lost ack) are
+    equally stale: re-admitting an already-applied operation into a queue
+    lets the aggregation rules collapse it against a *genuinely new* later
+    operation about the member — a disseminated join copy would annihilate a
+    fresh leave, and the departure would silently never propagate.
     """
     if not applied:
         return False
     member = op.member
-    return member is not None and op.sequence < applied.get(member.guid.value, 0)
+    return member is not None and op.sequence <= applied.get(member.guid.value, 0)
 
 
 class _RingDirtyMarker:
@@ -425,6 +431,29 @@ class TokenRoundKernel:
     def next_sequence(self) -> int:
         return next(self._op_sequence)
 
+    def set_sequence_stream(self, start: int, step: int = 1) -> None:
+        """Partition the operation-sequence space.
+
+        The live runtime runs one kernel replica per shard process; each
+        replica draws its post-scenario sequences (repair operations) from a
+        disjoint arithmetic stream (``start + k*step``) so two shards can
+        never mint the same sequence number for different operations.
+        Scripted operations carry pre-assigned sequences below ``start``.
+        """
+        if step < 1:
+            raise ProtocolError(f"sequence stream step must be >= 1, got {step}")
+        self._op_sequence = itertools.count(start, step)
+
+    @property
+    def coverage_epoch(self) -> int:
+        """Monotonic count of hierarchy surgeries (see :meth:`invalidate_coverage`).
+
+        Observers (e.g. the harness's dead-letter retry) compare epochs to
+        learn that a repair has re-shaped the hierarchy since they last
+        looked, without hooking every repair call site.
+        """
+        return self._coverage_epoch
+
     def next_epoch(self, guid: str) -> int:
         epoch = self._member_epochs.get(guid, 0) + 1
         self._member_epochs[guid] = epoch
@@ -596,8 +625,8 @@ class TokenRoundKernel:
         return [op for op in operations if op.sequence not in seen]
 
     def is_stale_for_ring(self, ring_id: str, operation: TokenOperation) -> bool:
-        """True when the ring already circulated a *newer* operation about the
-        same member (the rule itself lives in :func:`stale_for`)."""
+        """True when the ring already circulated this operation or a newer
+        one about the same member (the rule itself lives in :func:`stale_for`)."""
         return stale_for(self.ring_applied_seq.get(ring_id), operation)
 
     def note_circulated(self, ring_id: str, operations: Iterable[TokenOperation]) -> None:
@@ -1049,7 +1078,41 @@ class TokenRoundKernel:
         ops = self.failure_operations(failed, failure_source)
         self.metrics.counter("repairs.ring").increment()
         self.trace.record(now, "repair", str(failed), f"excluded from ring {ring.ring_id}")
+        self._salvage_queue(ring, failed, detector, now)
         return ops
+
+    def _salvage_queue(
+        self, ring: LogicalRing, failed: NodeId, detector: Optional[NodeId], now: float
+    ) -> None:
+        """Move the excised entity's undrained MQ to a surviving ring member.
+
+        Operations delivered to an entity are marked in the ring's seen-set
+        at send time, so the sender will never retransmit them — if they die
+        with the entity's queue they are lost *silently* (any resend would be
+        filtered as a duplicate).  The surviving member inherits them; the
+        seen-marking stays valid because heir and victim share the ring.
+        """
+        victim = self.entities.get(failed)
+        if victim is None:
+            return
+        salvaged = victim.mq.drain_entries()
+        if not salvaged:
+            return
+        heir = detector if detector is not None else ring.leader
+        if heir is None or heir in self.failed or heir not in self.entities:
+            # Whole ring died: nothing in this ring can carry the operations.
+            self.metrics.counter("repairs.mq_orphaned").increment(len(salvaged))
+            self.trace.record(
+                now, "repair", str(failed), f"{len(salvaged)} queued ops orphaned"
+            )
+            return
+        heir_entity = self.entity(heir)
+        for entry in salvaged:
+            heir_entity.mq.insert(entry.operation, sender=entry.sender, now=now)
+        self.metrics.counter("repairs.mq_salvaged").increment(len(salvaged))
+        self.trace.record(
+            now, "repair", str(failed), f"{len(salvaged)} queued ops salvaged to {heir}"
+        )
 
     def detect_and_repair(self, node: "NodeId | str", now: float = 0.0) -> List[TokenOperation]:
         """Immediately detect a failed entity and repair its ring."""

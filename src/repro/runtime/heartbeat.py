@@ -1,0 +1,154 @@
+"""Heartbeat-based failure detection for the live runtime.
+
+Each node process multicasts (or unicast-fans-out) a small heartbeat every
+``interval`` seconds and runs one :class:`HeartbeatMonitor` over its peers.
+The monitor is a three-state machine per peer:
+
+* ``ALIVE`` — heard from recently.
+* ``SUSPECT`` — silent for ``suspect_after`` seconds.  A heartbeat arriving
+  now *re-admits* the peer (slow-but-alive: GC pause, scheduler stall,
+  ``SIGSTOP``); re-admissions are counted, no repair runs.
+* ``EVICTED`` — silent for ``evict_after`` seconds.  Terminal: the node
+  feeds every entity the dead shard owned into the kernel's existing
+  ``fail_entity``/repair path, exactly where the simulator's ``FaultEvent``
+  hook feeds it.  A late heartbeat after eviction is ignored — the repair
+  surgery is not reversible, which is why the SUSPECT grace band exists.
+
+The monitor is clock-injectable and performs no I/O: production drives it
+from loop timers and socket reads, tests drive it with a fake clock.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+__all__ = ["HeartbeatConfig", "HeartbeatMonitor", "PeerHealth"]
+
+
+class PeerHealth(enum.Enum):
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    EVICTED = "evicted"
+
+
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Timing of the failure detector (all real seconds).
+
+    ``interval < suspect_after < evict_after`` is enforced: a peer must be
+    allowed to miss several heartbeats before suspicion, and suspicion must
+    precede eviction so a slow-but-alive peer has a re-admission window.
+    """
+
+    interval: float = 0.06
+    suspect_after: float = 0.3
+    evict_after: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0 < self.interval < self.suspect_after < self.evict_after:
+            raise ValueError(
+                "heartbeat config must satisfy 0 < interval < suspect_after "
+                f"< evict_after, got interval={self.interval} "
+                f"suspect_after={self.suspect_after} evict_after={self.evict_after}"
+            )
+
+
+class HeartbeatMonitor:
+    """Per-peer ALIVE → SUSPECT → EVICTED state machine."""
+
+    def __init__(
+        self,
+        peers: Iterable[int],
+        config: HeartbeatConfig,
+        clock: Callable[[], float] = time.monotonic,
+        on_suspect: Optional[Callable[[int, float], None]] = None,
+        on_readmit: Optional[Callable[[int, float], None]] = None,
+        on_evict: Optional[Callable[[int, float], None]] = None,
+        initial_grace: float = 0.0,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self._on_suspect = on_suspect
+        self._on_readmit = on_readmit
+        self._on_evict = on_evict
+        # ``initial_grace`` credits every peer as heard slightly in the
+        # future: peers start heartbeating only once the supervisor's PEERS
+        # broadcast reaches them, and that skew must not read as silence.
+        now = clock() + max(0.0, initial_grace)
+        self._last_heard: Dict[int, float] = {peer: now for peer in peers}
+        self._state: Dict[int, PeerHealth] = {peer: PeerHealth.ALIVE for peer in self._last_heard}
+        self.suspicions = 0
+        self.readmissions = 0
+        self.evictions = 0
+        #: Silence duration observed at each eviction (peer -> seconds).
+        self.eviction_silence: Dict[int, float] = {}
+
+    # -- inputs -------------------------------------------------------------
+
+    def heartbeat_received(self, peer: int, now: Optional[float] = None) -> None:
+        """A heartbeat from ``peer`` arrived."""
+        state = self._state.get(peer)
+        if state is None or state is PeerHealth.EVICTED:
+            # Unknown peers are ignored; eviction is terminal — the repair
+            # surgery already ran and cannot be un-run.
+            return
+        if now is None:
+            now = self.clock()
+        self._last_heard[peer] = now
+        if state is PeerHealth.SUSPECT:
+            self._state[peer] = PeerHealth.ALIVE
+            self.readmissions += 1
+            if self._on_readmit is not None:
+                self._on_readmit(peer, now)
+
+    def poll(self, now: Optional[float] = None) -> List[int]:
+        """Advance timeouts; returns peers evicted by this poll."""
+        if now is None:
+            now = self.clock()
+        cfg = self.config
+        evicted: List[int] = []
+        for peer, state in self._state.items():
+            if state is PeerHealth.EVICTED:
+                continue
+            silence = now - self._last_heard[peer]
+            if silence >= cfg.evict_after:
+                if state is PeerHealth.ALIVE:
+                    # A long stall can jump straight past the suspect band
+                    # (e.g. the *observer* was descheduled); count the
+                    # suspicion it implies so the accounting stays honest.
+                    self.suspicions += 1
+                self._state[peer] = PeerHealth.EVICTED
+                self.evictions += 1
+                self.eviction_silence[peer] = silence
+                evicted.append(peer)
+                if self._on_evict is not None:
+                    self._on_evict(peer, silence)
+            elif silence >= cfg.suspect_after and state is PeerHealth.ALIVE:
+                self._state[peer] = PeerHealth.SUSPECT
+                self.suspicions += 1
+                if self._on_suspect is not None:
+                    self._on_suspect(peer, silence)
+        return evicted
+
+    # -- queries ------------------------------------------------------------
+
+    def state(self, peer: int) -> PeerHealth:
+        return self._state[peer]
+
+    def silence(self, peer: int, now: Optional[float] = None) -> float:
+        if now is None:
+            now = self.clock()
+        return now - self._last_heard[peer]
+
+    def evicted_peers(self) -> List[int]:
+        return sorted(p for p, s in self._state.items() if s is PeerHealth.EVICTED)
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "suspicions": self.suspicions,
+            "readmissions": self.readmissions,
+            "evictions": self.evictions,
+        }

@@ -181,6 +181,12 @@ class _PendingNotification:
     operations: Tuple[TokenOperation, ...]
     target_ring_id: str
     attempts: int = 1
+    #: Ring the sender belonged to at send time.  The operations a sender
+    #: forwards were applied by its whole ring in the round that produced
+    #: them, so when the sender dies mid-flight any surviving ring member
+    #: can (and must) take over the send — without this, ring-applied state
+    #: dies with the messenger.
+    sender_ring_id: Optional[str] = None
 
 
 class TransportDispatch(MessageDispatch):
@@ -215,7 +221,15 @@ class TransportDispatch(MessageDispatch):
         now: float,
     ) -> None:
         ring_id = kernel.hierarchy.ring_of(target).ring_id
-        self._transmit(_PendingNotification(sender, target, tuple(operations), ring_id))
+        self._transmit(
+            _PendingNotification(
+                sender,
+                target,
+                tuple(operations),
+                ring_id,
+                sender_ring_id=kernel.hierarchy.ring_of_node.get(sender),
+            )
+        )
 
     def deliver_holder_ack(
         self, kernel: TokenRoundKernel, holder: NodeId, target: NodeId, now: float
@@ -262,9 +276,16 @@ class TransportDispatch(MessageDispatch):
                 return  # delivered
             entry = self._pending.pop(dispatch_id)
             kernel = harness.kernel
-            if entry.target in kernel.failed or not kernel.hierarchy.has_node(entry.target):
-                # The target crashed while the message was in flight; resending
-                # at it is pointless — re-route through the repair logic now.
+            if (
+                entry.target in kernel.failed
+                or not kernel.hierarchy.has_node(entry.target)
+                or entry.sender in kernel.failed
+                or not kernel.hierarchy.has_node(entry.sender)
+            ):
+                # An endpoint crashed while the message was in flight;
+                # resending as-is is pointless — re-route through the repair
+                # logic now (a dead sender is succeeded by a surviving member
+                # of its ring, a dead target by its repaired counterpart).
                 harness._reroute_notification(entry)
                 return
             if entry.attempts > harness.config.resend_limit:
@@ -318,8 +339,10 @@ class TopologySnapshot:
     (``ColumnarStore.to_payload``), so a cell running ``backend="columnar"``
     rehydrates the store straight from the arrays instead of re-deriving it
     from rehydrated ring objects.  The store validates the arrays against
-    the hierarchy's shape on load and silently rebuilds on mismatch, so a
-    stale pairing costs speed, never correctness.
+    the hierarchy's shape on load and rebuilds on mismatch — loudly: the
+    rebuild emits a :class:`RuntimeWarning` and increments the kernel's
+    ``harness.columnar_snapshot_rebuilt`` metric, so a stale pairing costs
+    speed, never correctness, and never goes unnoticed.
     """
 
     ring_size: int
@@ -465,6 +488,11 @@ class ScenarioHarness:
         self._member_location: Dict[str, NodeId] = {}
         self._member_counter = 0
         self._c_rounds = self.metrics.counter("harness.rounds")
+        # Notifications whose reroute found no usable fallback target (the
+        # sender's whole parent ring died).  Held — never silently dropped —
+        # and re-offered whenever a repair re-shapes the hierarchy.
+        self._dead_letters: List[_PendingNotification] = []
+        self._dead_letter_epoch = self.kernel.coverage_epoch
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -676,25 +704,89 @@ class ScenarioHarness:
         counterpart (new leader or new parent).
         """
         kernel = self.kernel
-        sender, target = entry.sender, entry.target
-        if sender in kernel.failed:
-            return
+        target = entry.target
+        sender = self._live_sender(entry)
         self.metrics.counter("harness.notify_rerouted").increment()
         # The operations never arrived: un-mark them from the ring they were
         # marked seen against, or the retry would be filtered as a duplicate.
         seen = kernel.ring_seen.get(entry.target_ring_id)
         if seen is not None:
             seen.difference_update(op.sequence for op in entry.operations)
-        if self.hierarchy.has_node(target):
+        if sender is None:
+            # The sender and its whole ring died with the operations in
+            # flight; stash them — nothing on that side can re-send today,
+            # but a later repair may re-shape a path.
+            self.metrics.counter("harness.notify_dead_lettered").increment()
+            self._dead_letters.append(entry)
+            return
+        if self.hierarchy.has_node(target) and target != sender:
             kernel.forward_notification(sender, target, entry.operations, self.engine.now)
             return
-        # Already repaired away: fall back to the sender's current parent (the
-        # repair surgery re-attached orphaned rings there).
-        fallback = None
-        if sender in kernel.entities:
-            fallback = kernel.entities[sender].parent
-        if fallback is not None and fallback != target:
+        # Already repaired away: fall back to the surviving counterpart —
+        # the sender's current parent for upward notifications (the repair
+        # surgery re-attached orphaned rings there), or the target ring's
+        # post-repair leader for downward dissemination (mirroring what
+        # ``forward_notification`` does when it runs the repair itself).
+        fallback = self._reroute_fallback(sender, target, entry.target_ring_id)
+        if fallback is not None:
             kernel.forward_notification(sender, fallback, entry.operations, self.engine.now)
+            return
+        # No usable fallback: the sender's whole parent ring died, so the
+        # re-attachment surgery had nowhere to point the orphaned subtree
+        # and the sender's parent slot still dangles at the excised target.
+        # These operations were already un-marked from the seen-set; dropping
+        # them here would lose them forever with no signal.  Dead-letter
+        # them instead: account the loss and stash the entry so the next
+        # repair that gives the sender a live parent re-injects them.
+        self.metrics.counter("harness.notify_dead_lettered").increment()
+        self._dead_letters.append(entry)
+
+    def _live_sender(self, entry: _PendingNotification) -> Optional[NodeId]:
+        """The entry's sender if it still lives, else a surviving member of
+        the sender's ring (the operations are ring-applied state — any
+        survivor legitimately re-sends them), else None."""
+        kernel = self.kernel
+        sender = entry.sender
+        if sender not in kernel.failed and self.hierarchy.has_node(sender):
+            return sender
+        ring_id = entry.sender_ring_id or self.hierarchy.ring_of_node.get(sender)
+        ring = self.hierarchy.rings.get(ring_id) if ring_id else None
+        if ring is None:
+            return None
+        for candidate in itertools.chain((ring.leader,), ring.members):
+            if (
+                candidate is not None
+                and candidate not in kernel.failed
+                and self.hierarchy.has_node(candidate)
+            ):
+                return candidate
+        return None
+
+    def _reroute_fallback(
+        self, sender: NodeId, target: NodeId, target_ring_id: str
+    ) -> Optional[NodeId]:
+        """The surviving counterpart for a notification whose target was
+        repaired away, or None when there is none (yet)."""
+        kernel = self.kernel
+        hierarchy = self.hierarchy
+        candidates: List[Optional[NodeId]] = []
+        if sender in kernel.entities:
+            # Upward path: the sender's parent slot, as re-attached by repair.
+            candidates.append(kernel.entities[sender].parent)
+            ring_id = hierarchy.ring_of_node.get(sender)
+            candidates.append(hierarchy.parent_node.get(ring_id) if ring_id else None)
+        # Downward/sibling path: the target ring's post-repair leader.
+        ring = hierarchy.rings.get(target_ring_id)
+        candidates.append(ring.leader if ring is not None else None)
+        for candidate in candidates:
+            if (
+                candidate is not None
+                and candidate != target
+                and candidate not in kernel.failed
+                and hierarchy.has_node(candidate)
+            ):
+                return candidate
+        return None
 
     def _on_fault(self, event: FaultEvent) -> None:
         if event.kind is not FaultKind.CRASH:
@@ -747,6 +839,9 @@ class ScenarioHarness:
             return
         kernel.run_round(ring_id, now=self.engine.now)
         self._c_rounds.increment()
+        # A round may have run repair surgery; give dead-lettered
+        # notifications a chance to find their re-attached fallback.
+        self._retry_dead_letters()
         # Repair ops (or work queued at other members) trigger a follow-up
         # round — control of a fresh token passes along the ring.
         failed = kernel.failed
@@ -754,6 +849,45 @@ class ScenarioHarness:
             if n not in failed and entities[n].has_queued_work():
                 self._schedule_round(ring_id)
                 break
+
+    def _retry_dead_letters(self) -> bool:
+        """Re-inject dead-lettered notifications once repair re-shapes things.
+
+        A notification is dead-lettered when its reroute found no usable
+        fallback — the sender's parent slot dangled at the excised target
+        because the whole parent ring died.  Any later repair surgery
+        (tracked via the kernel's coverage epoch) may have re-attached the
+        sender's subtree under a live parent; re-offer the stashed
+        operations then.  Entries whose fallback is still unusable stay
+        stashed (and accounted) rather than being dropped.
+        """
+        if not self._dead_letters:
+            return False
+        kernel = self.kernel
+        epoch = kernel.coverage_epoch
+        if epoch == self._dead_letter_epoch:
+            return False
+        self._dead_letter_epoch = epoch
+        kept: List[_PendingNotification] = []
+        reinjected = False
+        for entry in self._dead_letters:
+            sender = self._live_sender(entry)
+            fallback = None
+            if sender is not None:
+                fallback = self._reroute_fallback(sender, entry.target, entry.target_ring_id)
+            if fallback is None or fallback == sender:
+                kept.append(entry)
+                continue
+            self.metrics.counter("harness.notify_reinjected").increment()
+            kernel.forward_notification(sender, fallback, entry.operations, self.engine.now)
+            reinjected = True
+        self._dead_letters = kept
+        return reinjected
+
+    @property
+    def dead_letters(self) -> List[_PendingNotification]:
+        """Dead-lettered notifications still awaiting a usable fallback."""
+        return list(self._dead_letters)
 
     # ------------------------------------------------------------------
     # execution
@@ -771,8 +905,12 @@ class ScenarioHarness:
         """Drive the engine until quiescence (or ``until``) and summarise."""
         self.engine.run(until=until)
         # A crash landing after the last workload event can leave repair work
-        # queued with no future event; sweep until genuinely quiescent.
-        while self.engine.pending() == 0 and self._kick_pending_rings():
+        # queued with no future event; sweep until genuinely quiescent.  The
+        # sweep also re-offers dead-lettered notifications whose fallback a
+        # late repair may have restored.
+        while self.engine.pending() == 0 and (
+            self._kick_pending_rings() or self._retry_dead_letters()
+        ):
             self.engine.run(until=until)
         counters = self.counter_values()
         return HarnessResult(

@@ -252,14 +252,51 @@ def test_store_payload_roundtrip():
     assert clone.bottom_tier == store.bottom_tier
 
 
-def test_store_payload_shape_mismatch_falls_back():
+def test_store_payload_shape_mismatch_warns_and_rebuilds():
     small = HierarchyBuilder().regular(ring_size=3, height=2)
     big = HierarchyBuilder().regular(ring_size=4, height=2)
     payload = ColumnarStore.from_hierarchy(small).to_payload()
-    rebuilt = ColumnarStore.from_payload(big, payload)
-    # Shape mismatch: silently rebuilt from the hierarchy, never mispaired.
+    # Shape mismatch: rebuilt from the hierarchy (never mispaired) — and
+    # loudly, because a stale snapshot pairing silently throwing away the
+    # shipped arrays hides real bugs at the call site.
+    with pytest.warns(RuntimeWarning, match="does not match the hierarchy shape"):
+        rebuilt = ColumnarStore.from_payload(big, payload)
+    assert rebuilt.rebuilt_from_mismatch
     assert len(rebuilt.ring_ids) == len(big.rings)
     assert rebuilt.ring_start_i[-1] == sum(len(r.members) for r in big.rings.values())
+
+
+def test_store_payload_match_is_silent():
+    import warnings
+
+    hierarchy = HierarchyBuilder().regular(ring_size=3, height=2)
+    payload = ColumnarStore.from_hierarchy(hierarchy).to_payload()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        clone = ColumnarStore.from_payload(hierarchy, payload)
+    assert not clone.rebuilt_from_mismatch
+
+
+def test_kernel_counts_snapshot_rebuilds():
+    from repro.core.config import ProtocolConfig
+    from repro.core.events import MembershipEventBus
+    from repro.sim.stats import MetricRegistry
+    from repro.sim.trace import TraceRecorder
+
+    mismatched = HierarchyBuilder().regular(ring_size=3, height=2)
+    target = HierarchyBuilder().regular(ring_size=4, height=2)
+    payload = ColumnarStore.from_hierarchy(mismatched).to_payload()
+    metrics = MetricRegistry()
+    with pytest.warns(RuntimeWarning, match="does not match the hierarchy shape"):
+        ColumnarKernel(
+            target,
+            config=ProtocolConfig(),
+            metrics=metrics,
+            event_bus=MembershipEventBus(),
+            trace=TraceRecorder(enabled=False),
+            store_payload=payload,
+        )
+    assert metrics.counter("harness.columnar_snapshot_rebuilt").value == 1
 
 
 def test_snapshot_ships_columnar_arrays_and_matches_fresh_build():
