@@ -26,7 +26,10 @@ Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--joins N] [--out PATH]
     PYTHONPATH=src python benchmarks/run_bench.py --matrix [--matrix-sizes 1000 10000]
+    PYTHONPATH=src python benchmarks/run_bench.py --matrix --family flash_crowd
     PYTHONPATH=src python benchmarks/run_bench.py --ablation [--ablation-sizes 1000 10000]
+    PYTHONPATH=src python benchmarks/run_bench.py --ablation \\
+        --ablation-scenarios churn correlated_failure --ablation-sizes 64
     PYTHONPATH=src python benchmarks/run_bench.py --perf --perf-tier small
     PYTHONPATH=src python benchmarks/run_bench.py --perf --only large_scale_1m --update-baseline
 """
@@ -78,13 +81,16 @@ def measure_configuration(height: int, joins: int, batched: bool) -> dict:
     }
 
 
-def run_matrix(sizes, events, out_path: Path, jobs: int = 1) -> None:
+def run_matrix(sizes, events, out_path: Path, jobs: int = 1, scenarios=None) -> None:
     """Sweep the event-driven scenario matrix and archive cell throughput."""
     from repro.analysis.tables import render_matrix
-    from repro.workloads.matrix import LOSS_RATES, SCENARIOS, ScenarioMatrix
+    from repro.workloads.matrix import LOSS_RATES, SCENARIOS, ScenarioMatrix, get_scenario
     from repro.workloads.parallel import run_matrix as run_matrix_parallel
 
-    matrix = ScenarioMatrix(sizes=tuple(sizes), events_per_cell=events)
+    scenarios = tuple(scenarios) if scenarios else tuple(SCENARIOS)
+    for name in scenarios:
+        get_scenario(name)  # fail fast, listing the registered scenarios
+    matrix = ScenarioMatrix(sizes=tuple(sizes), events_per_cell=events, scenarios=scenarios)
     report = run_matrix_parallel(matrix, jobs=jobs, progress=True)
     report.raise_if_failed()
     results = report.results
@@ -94,7 +100,7 @@ def run_matrix(sizes, events, out_path: Path, jobs: int = 1) -> None:
         "benchmark": "scenario-matrix throughput (event-driven harness)",
         "python": platform.python_version(),
         "platform": platform.platform(),
-        "scenarios": list(SCENARIOS),
+        "scenarios": list(scenarios),
         "loss_rates": list(LOSS_RATES),
         "sizes": list(sizes),
         "events_per_cell": events,
@@ -118,7 +124,8 @@ def run_matrix(sizes, events, out_path: Path, jobs: int = 1) -> None:
 def run_ablation(sizes, losses, scenarios, events, out_path: Path, jobs: int = 1) -> None:
     """Drive every protocol through the same workloads; archive the costs."""
     from repro.analysis.scalability import hcn_ring, hcn_tree
-    from repro.analysis.tables import render_ablation
+    from repro.analysis.tables import render_ablation, render_family_head_to_head
+    from repro.workloads.spec import available_families
     from repro.baselines.driver import (
         PROTOCOL_NAMES,
         ring_shape_for_proxies,
@@ -136,6 +143,13 @@ def run_ablation(sizes, losses, scenarios, events, out_path: Path, jobs: int = 1
     results = report.results
     print()
     print(render_ablation([r.record for r in results]))
+    family_records = [
+        r.record for r in results
+        if str(r.record.params.get("scenario", "")) in available_families()
+    ]
+    if family_records:
+        print()
+        print(render_family_head_to_head(family_records))
 
     closed_form = []
     for n in sizes:
@@ -202,6 +216,15 @@ def main(argv=None) -> int:
         type=Path,
         default=Path(__file__).resolve().parent / "BENCH_matrix.json",
         help="matrix output JSON path",
+    )
+    parser.add_argument(
+        "--family",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="with --matrix: restrict the sweep to these scenarios — legacy "
+        "matrix scenarios or adversarial families (flash_crowd, "
+        "correlated_failure, diurnal_mobility, replay_injection)",
     )
     parser.add_argument(
         "--ablation",
@@ -277,6 +300,8 @@ def main(argv=None) -> int:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if (args.only or args.update_baseline) and not args.perf:
         parser.error("--only/--update-baseline require --perf")
+    if args.family and not args.matrix:
+        parser.error("--family requires --matrix")
     if args.perf and (args.matrix or args.ablation):
         parser.error("--perf cannot be combined with --matrix/--ablation")
 
@@ -293,7 +318,13 @@ def main(argv=None) -> int:
         return perf.main(perf_argv)
 
     if args.matrix:
-        run_matrix(args.matrix_sizes, args.matrix_events, args.matrix_out, jobs=args.jobs)
+        run_matrix(
+            args.matrix_sizes,
+            args.matrix_events,
+            args.matrix_out,
+            jobs=args.jobs,
+            scenarios=args.family,
+        )
         return 0
 
     if args.ablation:

@@ -118,6 +118,54 @@ def render_matrix(records: Sequence["RunRecord"]) -> str:
     return "\n".join(lines)
 
 
+def render_family_head_to_head(records: Sequence["RunRecord"]) -> str:
+    """Per-family head-to-head table for the adversarial scenario families.
+
+    Consumes the records of :func:`repro.workloads.matrix.run_ablation_cell`
+    for family cells (one per protocol) and renders, per family, the honest
+    cost accounting: applied changes, counted-not-dropped injections and
+    skipped events, per-change hop/message cost, final membership and the
+    convergence verdict.  Membership disagreement across protocols is the
+    *finding*, not an error — the golden suite pins which families disagree
+    and why (stale-replay resurrection, annihilated-ring ghosts).
+    """
+    by_family: Dict[str, list] = {}
+    for record in records:
+        by_family.setdefault(str(record.params.get("scenario", record.name)), []).append(record)
+    lines = ["Adversarial families: protocol head-to-head (same compiled fault script)"]
+    for family, rows in by_family.items():
+        lines.append("")
+        lines.append(
+            f"{family}  "
+            f"(proxies={int(rows[0].params.get('proxies', 0))}, "
+            f"loss={float(rows[0].params.get('loss', 0.0)):g}, "
+            f"seed={int(rows[0].params.get('seed', 0))})"
+        )
+        lines.append(
+            f"{'protocol':<10} {'changes':>8} {'inject':>7} {'skipped':>8} "
+            f"{'hops/chg':>9} {'msgs/chg':>9} {'members':>8} {'status':>9}"
+        )
+        memberships = {r.value("membership") for r in rows}
+        for record in rows:
+            ok = record.value("converged") >= 1.0
+            lines.append(
+                f"{str(record.params.get('protocol', '?')):<10} "
+                f"{int(record.value('changes')):>8} "
+                f"{int(record.value('injections')):>7} "
+                f"{int(record.value('skipped_events')):>8} "
+                f"{record.value('hops_per_change'):>9.1f} "
+                f"{record.value('messages_per_change'):>9.1f} "
+                f"{int(record.value('membership')):>8} "
+                f"{'ok' if ok else 'DISAGREE':>9}"
+            )
+        if len(memberships) > 1:
+            lines.append(
+                "  membership DISAGREE across protocols — see the pinned "
+                "conformance verdicts in tests/golden/families_small.json"
+            )
+    return "\n".join(lines)
+
+
 def render_ablation(records: Sequence["RunRecord"]) -> str:
     """Head-to-head protocol ablation table, plus the Section 5.1 closed forms.
 

@@ -108,17 +108,24 @@ class CostTotals:
     rounds: int = 0
     retransmissions: int = 0
     site_failures: int = 0
+    injections: int = 0
 
     def add(self, report: ChangeReport) -> None:
         if not report.applied:
             self.skipped += 1
             return
-        self.changes += 1
+        if report.kind in ("inject_duplicate", "inject_stale"):
+            # Replayed messages are adversarial wire traffic, not membership
+            # changes: their cost accumulates (the protocol really pays it)
+            # but they must not dilute the per-change denominators.
+            self.injections += 1
+        else:
+            self.changes += 1
         self.hops += report.hops
         self.messages += report.messages
         self.rounds += report.rounds
         self.retransmissions += report.retransmissions
-        if report.kind == "fail_site":
+        if report.kind in ("fail_site", "fail_internal"):
             self.site_failures += 1
 
     def per_change(self, quantity: int) -> float:
@@ -134,6 +141,7 @@ class CostTotals:
             "rounds": float(self.rounds),
             "retransmissions": float(self.retransmissions),
             "site_failures": float(self.site_failures),
+            "injections": float(self.injections),
             "hops_per_change": self.per_change(self.hops),
             "messages_per_change": self.per_change(self.messages),
             "rounds_per_change": self.per_change(self.rounds),
@@ -156,6 +164,10 @@ class BaseProtocolDriver:
         self._sites: List[str] = list(sites)
         self._attachment: Dict[str, str] = {}
         self._failed_sites: Set[str] = set()
+        # First and most recent applied propagation per member, as
+        # (site, join?) message records — what a replay adversary re-delivers.
+        self._first_op: Dict[str, Tuple[str, bool]] = {}
+        self._last_op: Dict[str, Tuple[str, bool]] = {}
         self.totals = CostTotals()
 
     # -- structure ----------------------------------------------------------
@@ -179,6 +191,7 @@ class BaseProtocolDriver:
             return self._skip("join")
         report = self._finish("join", self._propagate_join(site, member))
         self._attachment[member] = site
+        self._record_op(member, site, True)
         return report
 
     def leave(self, member: str) -> ChangeReport:
@@ -187,6 +200,7 @@ class BaseProtocolDriver:
             return self._skip("leave")
         report = self._finish("leave", self._propagate_leave(site, member))
         del self._attachment[member]
+        self._record_op(member, site, False)
         return report
 
     def handoff(self, member: str, to_site: str) -> ChangeReport:
@@ -195,6 +209,7 @@ class BaseProtocolDriver:
             return self._skip("handoff")
         report = self._finish("handoff", self._propagate_handoff(member, from_site, to_site))
         self._attachment[member] = to_site
+        self._record_op(member, to_site, True)
         return report
 
     def fail_site(self, site: str) -> ChangeReport:
@@ -208,6 +223,67 @@ class BaseProtocolDriver:
         for member in orphans:
             del self._attachment[member]
         return report
+
+    def fail_internal(self, site: str, tier: int) -> ChangeReport:
+        """Crash the tier-``tier`` ancestor of capture site ``site``.
+
+        Only protocols with an internal hierarchy (RGB's ring tiers, the
+        tree's interior servers) can express this; the flat ring and gossip
+        have no such node, so the base implementation *skips* — counted in
+        the totals, never silently dropped — and the crash reaches those
+        protocols only through the tier-1 (AP-level) events of the same
+        fault script.
+        """
+        return self._skip("fail_internal")
+
+    # -- adversarial message replay ------------------------------------------
+
+    def inject_duplicate(self, member: str) -> ChangeReport:
+        """Re-deliver the most recent propagated message about ``member``."""
+        record = self._last_op.get(member)
+        if record is None:
+            return self._skip("inject_duplicate")
+        site, join = record
+        return self._finish(
+            "inject_duplicate", self._replay_message(site, member, join, stale=False)
+        )
+
+    def inject_stale(self, member: str) -> ChangeReport:
+        """Re-deliver the *first* propagated message about ``member``.
+
+        For a member that has since departed this is its original join
+        arriving late — the resurrection hazard the RGB kernel's sequence
+        watermark absorbs and the toy baselines do not.
+        """
+        record = self._first_op.get(member)
+        if record is None:
+            return self._skip("inject_stale")
+        site, join = record
+        return self._finish(
+            "inject_stale", self._replay_message(site, member, join, stale=True)
+        )
+
+    def _replay_message(
+        self, site: str, member: str, join: bool, stale: bool
+    ) -> Tuple[int, int, int, int]:
+        """Deliver a replayed message, bypassing the workload gating.
+
+        A replayed message is wire traffic, not a workload event: it must not
+        touch the attachment bookkeeping, and it deliberately skips the
+        duplicate/departed gating — that gating models the *capture* path,
+        while a replay arrives on the *propagation* path.  The toy adapters
+        re-run their propagation primitive (``_one``), which is exactly why a
+        stale join of a departed member resurrects it in every toy; the RGB
+        adapter overrides this to inject at the harness dispatch seam, where
+        the kernel's watermark drops the replayed operation.
+        """
+        if site in self._failed_sites:
+            site = self._survivor_site()
+        return self._one(site, member, join)  # type: ignore[attr-defined]
+
+    def _record_op(self, member: str, site: str, join: bool) -> None:
+        self._first_op.setdefault(member, (site, join))
+        self._last_op[member] = (site, join)
 
     # -- converge-check ------------------------------------------------------
 
@@ -397,6 +473,43 @@ class TreeProtocol(BaseProtocolDriver):
             hops, messages, rounds, retrans = hops + h, messages + m, rounds + r, retrans + x
         return hops, messages, rounds, retrans
 
+    def fail_internal(self, site: str, tier: int) -> ChangeReport:
+        """Crash the interior server ``tier - 1`` levels above leaf ``site``.
+
+        With representatives the interior node is *played by* a descendant
+        leaf's physical server, so that leaf (and any other leaf on the same
+        server) dies with it; its orphans are failure-propagated from a
+        survivor.  Propagation then stalls below the dead interior server —
+        the subtree keeps stale views and ``global_agreement`` goes false,
+        the tree-hierarchy weakness the paper's Section 5.2 exploits.
+        """
+        if site not in self._sites or site in self._failed_sites:
+            return self._skip("fail_internal")
+        chain = self.tree.path_to_root(site)
+        if tier < 2 or tier - 2 >= len(chain):
+            return self._skip("fail_internal")
+        server = self.tree.nodes[chain[tier - 2]].server
+        if server in self.protocol._failed_servers:
+            return self._skip("fail_internal")
+        victims = {
+            leaf.node_id
+            for leaf in self.tree.leaves()
+            if leaf.server == server and leaf.node_id not in self._failed_sites
+        }
+        if len(self._failed_sites) + len(victims) >= len(self._sites):
+            return self._skip("fail_internal")  # never kill the last site
+        self.protocol.fail_server(server)
+        orphans = sorted(m for m, s in self._attachment.items() if s in victims)
+        self._failed_sites.update(victims)
+        hops = messages = rounds = retrans = 0
+        origin = self._survivor_site()
+        for member in orphans:
+            h, m, r, x = self._one(origin, member, False)
+            hops, messages, rounds, retrans = hops + h, messages + m, rounds + r, retrans + x
+        for member in orphans:
+            del self._attachment[member]
+        return self._finish("fail_internal", (hops, messages, rounds, retrans))
+
     def _survivor_site(self) -> str:
         failed_servers = self.protocol._failed_servers
         for site in self._sites:
@@ -430,8 +543,12 @@ class RGBRingProtocol(BaseProtocolDriver):
         from repro.sim.harness import HarnessConfig, ScenarioHarness
 
         ring_size, height = ring_shape_for_proxies(num_sites)
+        # record_sends lets the replay-injection scenarios re-deliver real
+        # dispatched messages; recording alone never changes behaviour.
         self.harness = ScenarioHarness(
-            HarnessConfig(ring_size=ring_size, height=height, seed=seed, loss=loss)
+            HarnessConfig(
+                ring_size=ring_size, height=height, seed=seed, loss=loss, record_sends=True
+            )
         )
         super().__init__(self.harness.access_proxies())
 
@@ -473,6 +590,35 @@ class RGBRingProtocol(BaseProtocolDriver):
         # The kernel's own repair discovers the crash, excises the entity and
         # failure-propagates the members attached there — no synthetic leaves.
         return self._drive(lambda now: self.harness.schedule_crash(now, site))
+
+    def fail_internal(self, site: str, tier: int) -> ChangeReport:
+        """Crash the tier-``tier`` ring ancestor of access proxy ``site``.
+
+        The interior entity is a first-class ring member here, so the crash
+        goes through the same fault injector as an AP crash and the kernel's
+        repair surgery excises it, failure-propagates the members aggregated
+        beneath it and re-attaches the orphaned subtree.
+        """
+        if site not in self._sites:
+            return self._skip("fail_internal")
+        chain = self.harness.hierarchy.ancestry(site)
+        if tier < 2 or tier - 2 >= len(chain):
+            return self._skip("fail_internal")
+        node = chain[tier - 2]
+        if node in self.harness.kernel.failed:
+            return self._skip("fail_internal")
+        return self._finish(
+            "fail_internal",
+            self._drive(lambda now: self.harness.schedule_crash(now, str(node))),
+        )
+
+    def _replay_message(self, site, member, join, stale):
+        # Injected at the dispatch seam: the harness re-transmits the
+        # recorded notification and the kernel's sequence watermark decides.
+        kind = "stale" if stale else "duplicate"
+        return self._drive(
+            lambda now: self.harness.schedule_injection(now, kind, member)
+        )
 
     def members(self) -> Set[str]:
         return set(self.harness.global_guids())

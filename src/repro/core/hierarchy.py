@@ -222,11 +222,19 @@ class RingHierarchy:
         return edges
 
     def ancestry(self, node: "NodeId | str") -> List[NodeId]:
-        """Chain of parent nodes from ``node``'s ring up to the topmost ring."""
+        """Chain of parent nodes from ``node``'s ring up to the topmost ring.
+
+        After repair surgery the chain can be *severed*: when a whole ring
+        dies there is no surviving leader to re-attach its child rings to, so
+        a child ring's parent link may point at an already-excised node.  The
+        walk returns the chain as far as it can be resolved — the dangling
+        parent is included (callers can still identify and e.g. crash-check
+        it) but the walk stops there instead of raising.
+        """
         chain: List[NodeId] = []
         current = node if isinstance(node, NodeId) else NodeId(str(node))
-        while True:
-            parent = self.parent_of_node(current)
+        while self.has_node(current):
+            parent = self.parent_of_ring(self.ring_of(current).ring_id)
             if parent is None:
                 break
             chain.append(parent)

@@ -1234,9 +1234,13 @@ class TokenRoundKernel:
                 if emit_token:
                     dispatch.token_hop(self, prev_node, node, now)
             if node in failed:
-                # Detection by token retransmission, then local repair.
+                # Detection by token retransmission, then local repair.  The
+                # detector is the last *surviving* node the token visited
+                # (``order[index - 1]`` may itself be failed when failures
+                # are adjacent in ring order — handing it the salvaged MQ
+                # would orphan the queued operations).
                 retransmissions += self.config.token_retry_limit + 1
-                detector = order[index - 1] if index > 0 else holder_id
+                detector = prev_node
                 repair_ops = self.repair_ring(ring, node, detector, now)
                 result.repaired.append(node)
                 for op in repair_ops:

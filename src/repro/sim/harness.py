@@ -105,6 +105,12 @@ class HarnessConfig:
         (``round_delay`` plays that role on the event queue).
     trace_enabled, trace_capacity:
         Structured trace recording (golden-trace tests switch this on).
+    record_sends:
+        Keep the first and most recent dispatched notification per member so
+        :meth:`ScenarioHarness.schedule_injection` can re-deliver them
+        (duplicate/stale replay adversaries).  Off by default: recording
+        never changes protocol behaviour, but the bookkeeping is wasted
+        unless a scenario injects replays.
     backend:
         Kernel implementation (``"object"`` or ``"columnar"``); both produce
         bit-identical protocol state, the columnar backend trades a denser
@@ -125,6 +131,7 @@ class HarnessConfig:
     protocol: ProtocolConfig = field(default_factory=lambda: ProtocolConfig(aggregation_delay=0.0))
     trace_enabled: bool = False
     trace_capacity: Optional[int] = None
+    record_sends: bool = False
     backend: str = "object"
 
     def __post_init__(self) -> None:
@@ -221,15 +228,16 @@ class TransportDispatch(MessageDispatch):
         now: float,
     ) -> None:
         ring_id = kernel.hierarchy.ring_of(target).ring_id
-        self._transmit(
-            _PendingNotification(
-                sender,
-                target,
-                tuple(operations),
-                ring_id,
-                sender_ring_id=kernel.hierarchy.ring_of_node.get(sender),
-            )
+        pending = _PendingNotification(
+            sender,
+            target,
+            tuple(operations),
+            ring_id,
+            sender_ring_id=kernel.hierarchy.ring_of_node.get(sender),
         )
+        if self.harness.config.record_sends:
+            self.harness._record_sends(pending)
+        self._transmit(pending)
 
     def deliver_holder_ack(
         self, kernel: TokenRoundKernel, holder: NodeId, target: NodeId, now: float
@@ -487,6 +495,11 @@ class ScenarioHarness:
         self._round_scheduled: Set[str] = set()
         self._member_location: Dict[str, NodeId] = {}
         self._member_counter = 0
+        # Per-member dispatched-notification log (record_sends only): the
+        # first and the most recent send mentioning each member, as
+        # single-operation pending entries ready to re-transmit.
+        self._first_sends: Dict[str, _PendingNotification] = {}
+        self._last_sends: Dict[str, _PendingNotification] = {}
         self._c_rounds = self.metrics.counter("harness.rounds")
         # Notifications whose reroute found no usable fallback target (the
         # sender's whole parent ring died).  Held — never silently dropped —
@@ -595,6 +608,25 @@ class ScenarioHarness:
     def schedule_fault_plan(self, plan: FaultPlan) -> None:
         self.faults.apply_plan(plan)
 
+    def schedule_injection(self, time: float, kind: str, member: str) -> None:
+        """Re-deliver a recorded dispatch message about ``member`` at ``time``.
+
+        ``kind="duplicate"`` re-transmits the most recent notification that
+        mentioned the member (the network delivering the same message twice);
+        ``kind="stale"`` re-transmits the *first* one — typically the
+        member's original join, the classic resurrection hazard when it
+        arrives after the member's leave already circulated.  Requires
+        ``record_sends`` in the config; an injection with nothing recorded is
+        counted (``harness.injections_skipped``), never silently dropped.
+        """
+        if kind not in ("duplicate", "stale"):
+            raise HarnessError(f"unknown injection kind {kind!r}")
+        if not self.config.record_sends:
+            raise HarnessError("schedule_injection requires HarnessConfig(record_sends=True)")
+        self.engine.schedule_at(
+            time, lambda _e: self._inject_replay(kind, member), label=f"inject-{kind}:{member}"
+        )
+
     def schedule_mobility_trace(self, trace: MobilityTrace) -> int:
         """Replay attachment/handoff events as timed captures; returns count."""
         count = 0
@@ -663,6 +695,50 @@ class ScenarioHarness:
     # ------------------------------------------------------------------
     # message and fault handling
     # ------------------------------------------------------------------
+
+    def _record_sends(self, pending: _PendingNotification) -> None:
+        """Log the send per mentioned member (record_sends only).
+
+        Each entry is narrowed to the single operation about that member, so
+        a replay re-delivers exactly the adversarial message, not whatever
+        else happened to share the original notification.
+        """
+        for op in pending.operations:
+            if op.member is None:
+                continue
+            entry = _PendingNotification(
+                pending.sender,
+                pending.target,
+                (op,),
+                pending.target_ring_id,
+                sender_ring_id=pending.sender_ring_id,
+            )
+            key = str(op.member.guid)
+            self._first_sends.setdefault(key, entry)
+            self._last_sends[key] = entry
+
+    def _inject_replay(self, kind: str, member: str) -> None:
+        """Re-transmit the recorded first/last send about ``member`` now.
+
+        The replayed copy goes through the ordinary dispatch machinery —
+        transport loss, resends, reroute on a dead endpoint — and lands in
+        :meth:`_accept_notification`, where the kernel's per-member sequence
+        watermark (:func:`repro.core.kernel.stale_for`) must absorb it.
+        """
+        record = (self._first_sends if kind == "stale" else self._last_sends).get(member)
+        if record is None:
+            self.metrics.counter("harness.injections_skipped").increment()
+            return
+        self.metrics.counter(f"harness.injections_{kind}").increment()
+        self.dispatch._transmit(
+            _PendingNotification(
+                record.sender,
+                record.target,
+                record.operations,
+                record.target_ring_id,
+                sender_ring_id=record.sender_ring_id,
+            )
+        )
 
     def _on_message(self, message: Message) -> None:
         if message.msg_type == MSG_NOTIFY:

@@ -10,6 +10,9 @@
 * :mod:`repro.workloads.matrix` — the {protocol} × {scenario} × {scale} ×
   {loss} sweep over the event-driven harness (:mod:`repro.sim.harness`) and
   the protocol-driver ablation replay (:mod:`repro.baselines.driver`).
+* :mod:`repro.workloads.spec` — declarative adversarial scenario specs
+  compiled by a pass pipeline into replayable fault scripts; the families
+  themselves live in :mod:`repro.workloads.families`.
 """
 
 from repro.workloads.churn import ChurnEvent, ChurnKind, ChurnWorkload
@@ -28,9 +31,19 @@ from repro.workloads.matrix import (
     replay_workload,
     run_ablation_cell,
     run_matrix_cell,
+    replay_script,
+    scenario_names,
     shape_for_proxies,
 )
 from repro.workloads.queries import QueryWorkload, QueryRequest
+from repro.workloads.spec import (
+    FaultScript,
+    ScenarioSpec,
+    ScriptEvent,
+    available_families,
+    compile_spec,
+    schedule_script,
+)
 from repro.workloads.scenarios import ScenarioResult, run_conferencing_scenario, run_churn_scenario
 
 __all__ = [
@@ -47,7 +60,15 @@ __all__ = [
     "replay_workload",
     "run_ablation_cell",
     "run_matrix_cell",
+    "replay_script",
+    "scenario_names",
     "shape_for_proxies",
+    "FaultScript",
+    "ScenarioSpec",
+    "ScriptEvent",
+    "available_families",
+    "compile_spec",
+    "schedule_script",
     "ChurnEvent",
     "ChurnKind",
     "ChurnWorkload",

@@ -1,0 +1,31 @@
+"""Adversarial scenario families (declarative, compiled by the spec pipeline).
+
+Importing this package registers every built-in family with
+:mod:`repro.workloads.spec`:
+
+* :mod:`~repro.workloads.families.flash_crowd` — a burst of joins worth ~10%
+  of the proxy count lands in one region within seconds;
+* :mod:`~repro.workloads.families.correlated_failure` — a branch router's
+  whole subtree dies top-down, killing many rings at once;
+* :mod:`~repro.workloads.families.diurnal_mobility` — sinusoidal arrivals
+  with heavy-tailed (Pareto) session lengths and local handoffs;
+* :mod:`~repro.workloads.families.replay_injection` — duplicate and stale
+  message replay at the dispatch seam.
+
+Each family contributes *events*, never harness code: the compiled
+:class:`repro.workloads.spec.FaultScript` replays identically through the
+event-driven RGB harness and — via the protocol-neutral op replay in
+:mod:`repro.workloads.matrix` — through every baseline protocol driver.
+"""
+
+from repro.workloads.families.correlated_failure import CorrelatedFailureFamily
+from repro.workloads.families.diurnal_mobility import DiurnalMobilityFamily
+from repro.workloads.families.flash_crowd import FlashCrowdFamily
+from repro.workloads.families.replay_injection import ReplayInjectionFamily
+
+__all__ = [
+    "CorrelatedFailureFamily",
+    "DiurnalMobilityFamily",
+    "FlashCrowdFamily",
+    "ReplayInjectionFamily",
+]

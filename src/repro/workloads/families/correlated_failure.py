@@ -1,0 +1,86 @@
+"""Correlated branch-router failure: one subtree dies, killing many rings.
+
+After a warm-up population attaches across the hierarchy, the whole subtree
+under one tier-``root_tier`` node crashes at a single instant — the subtree
+root first, then each interior tier top-down, then every access proxy in the
+block.  This is the scenario the ring hierarchy's repair surgery was designed
+for (and the one that partitions a representative-based tree): many logical
+rings lose members at once, whole bottom rings die with their message queues,
+and the surviving rings must excise the branch, failure-propagate every
+member attached beneath it and re-attach orphaned structure.
+
+Aftermath joins at surviving proxies then check that the repaired hierarchy
+still propagates — the head-to-head convergence/cost table in
+``BENCH_ablation.json`` comes from replaying this script through all four
+protocols.
+
+Known honest DISAGREE this family pins: RGB retains the member attached at
+the *last* access proxy of the annihilated bottom ring (a ghost).  The
+paper's detection mechanism (Section 5.2) is token retransmission *within a
+ring* — each AP crash is noticed and repaired by the surviving ring peers,
+which failure-propagate that AP's members one by one; but when the final
+peer dies there is no surviving observer left inside the ring, so nobody
+emits the last member's MEMBER_FAILURE.  The toy baselines use global
+knowledge and remove everyone.  A correlated failure that annihilates an
+entire bottom ring therefore defeats ring-internal failure detection — a
+genuine model gap, not an implementation bug, and the golden conformance
+test pins it as such.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import CompileContext, ScenarioFamily, register_family
+
+
+class CorrelatedFailureFamily(ScenarioFamily):
+    name = "correlated_failure"
+    title = "a tier-N subtree crashes at once; survivors repair and re-attach"
+    defaults = {
+        # Tier of the subtree root to kill; 0 means "the topmost internal
+        # tier" (the whole branch under one branch-router member).  Clamped
+        # to [2, height].
+        "root_tier": 0,
+        # Fresh members joining surviving proxies after the crash.
+        "aftermath": 6,
+    }
+
+    def build_workload(self, ctx: CompileContext) -> None:
+        # Warm-up: one member per event, round-robin across every proxy, so
+        # the victim subtree holds a representative share of the population.
+        for i in range(ctx.spec.events):
+            ctx.emit(0.75 * i, "join", member=f"cf-{i:04d}", site=i % ctx.num_sites)
+
+    def build_faults(self, ctx: CompileContext) -> None:
+        n, r, h = ctx.num_sites, ctx.ring_size, ctx.height
+        tier = int(ctx.params["root_tier"]) or h
+        tier = max(2, min(tier, h))
+        block = r ** (tier - 1)
+        rng = ctx.stream("subtree")
+        start = int(rng.integers(0, n // block)) * block
+        fail_at = 0.75 * ctx.spec.events + 40.0
+        # Top-down: the subtree root, then each interior tier, then the APs.
+        # Ties in time keep emission order (the finalize sort is stable), so
+        # the branch dies root-first — the worst case for upward paths.
+        for t in range(tier, 1, -1):
+            sub_block = r ** (t - 1)
+            for sub_start in range(start, start + block, sub_block):
+                ctx.emit(fail_at, "crash", site=sub_start, tier=t)
+        for ap in range(start, start + block):
+            ctx.emit(fail_at, "crash", site=ap, tier=1)
+
+    def build_injections(self, ctx: CompileContext) -> None:
+        # Not an injection family, but the aftermath joins belong after the
+        # faults in the pipeline ordering: fresh members must land on the
+        # *repaired* hierarchy.  The victim block is read back off the crash
+        # events the fault pass already emitted, not re-drawn.
+        n = ctx.num_sites
+        crashed = {e.site for e in ctx.events if e.kind == "crash" and e.tier == 1}
+        survivors = [i for i in range(n) if i not in crashed]
+        fail_at = 0.75 * ctx.spec.events + 40.0
+        pick = ctx.stream("aftermath")
+        for i in range(int(ctx.params["aftermath"])):
+            site = survivors[int(pick.integers(0, len(survivors)))]
+            ctx.emit(fail_at + 60.0 + 2.0 * i, "join", member=f"cf-after-{i:02d}", site=site)
+
+
+register_family(CorrelatedFailureFamily())

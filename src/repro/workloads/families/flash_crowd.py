@@ -1,0 +1,60 @@
+"""Flash crowd: a join burst worth ~10% of the proxy count hits one region.
+
+The adversarial shape the paper's uniform churn never produces: a background
+trickle keeps the whole hierarchy mildly busy while, within a few seconds, a
+burst of fresh members all join access proxies under *one* tier-``region_tier``
+node.  Every ring on the path from that region to the root sees a
+disproportionate share of the aggregate load, which is exactly where the
+token's operation aggregation should (or should not) absorb the spike.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.spec import CompileContext, ScenarioFamily, register_family
+
+
+class FlashCrowdFamily(ScenarioFamily):
+    name = "flash_crowd"
+    title = "join burst worth fraction*proxies into one region within seconds"
+    defaults = {
+        # Burst size as a fraction of the proxy count (floor of 4 members).
+        "fraction": 0.10,
+        # Seconds the whole burst arrives within.
+        "window": 6.0,
+        # The region is the AP block under one tier-`region_tier` node.
+        "region_tier": 2,
+        # Background trickle joins across the rest of the hierarchy.
+        "background": True,
+    }
+
+    def build_workload(self, ctx: CompileContext) -> None:
+        n = ctx.num_sites
+        background = 0
+        if ctx.params["background"]:
+            background = min(ctx.spec.events, n)
+            for i in range(background):
+                ctx.emit(1.5 * i, "join", member=f"bg-{i:04d}", site=i % n)
+
+        region_tier = max(1, min(int(ctx.params["region_tier"]), ctx.height))
+        block = min(ctx.ring_size ** (region_tier - 1), n)
+        region_rng = ctx.stream("region")
+        region_start = int(region_rng.integers(0, max(n // block, 1))) * block
+
+        burst = max(4, round(float(ctx.params["fraction"]) * n))
+        window = float(ctx.params["window"])
+        arrivals = ctx.stream("arrivals")
+        start = 1.5 * background + 10.0
+        offsets = np.sort(arrivals.uniform(0.0, window, size=burst))
+        targets = arrivals.integers(0, block, size=burst)
+        for i in range(burst):
+            ctx.emit(
+                start + float(offsets[i]),
+                "join",
+                member=f"fc-{i:04d}",
+                site=region_start + int(targets[i]),
+            )
+
+
+register_family(FlashCrowdFamily())

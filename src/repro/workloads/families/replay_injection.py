@@ -1,0 +1,64 @@
+"""Duplicate/stale message replay injected at the dispatch seam.
+
+A lossy, retrying network re-delivers old messages: the same notification
+twice (duplicate), or a long-delayed copy of a message the protocol has since
+superseded (stale replay — the classic resurrection hazard: a member's
+original *join* arriving after its *leave* already circulated).
+
+This family builds a steady population, a set of join-then-leave "stale
+victim" members, and then injects, at the dispatch seam, (a) re-deliveries of
+the most recent recorded message about still-present members and (b) replays
+of the *original join* message of the departed victims.  The RGB kernel's
+per-member sequence watermark (``stale_for``: drop when
+``op.sequence <= applied``) must absorb both without resurrecting anybody;
+the toy baselines re-apply whatever arrives, so a stale join *does* resurrect
+the departed member — the honest cross-protocol DISAGREE the golden test
+pins.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import CompileContext, ScenarioFamily, register_family
+
+
+class ReplayInjectionFamily(ScenarioFamily):
+    name = "replay_injection"
+    title = "re-deliver recorded messages: duplicates + stale join replays"
+    # The harness must record per-member dispatch sends so the injector has
+    # real messages to replay.
+    record_sends = True
+    defaults = {
+        # Duplicate re-deliveries of the latest message of present members.
+        "duplicates": 4,
+        # Stale replays of the original join of departed members.
+        "stale_replays": 4,
+    }
+
+    def _victim(self, index: int) -> str:
+        return f"ri-stale-{index:02d}"
+
+    def build_workload(self, ctx: CompileContext) -> None:
+        n = ctx.num_sites
+        for i in range(ctx.spec.events):
+            ctx.emit(2.0 * i, "join", member=f"ri-{i:04d}", site=i % n)
+        stales = int(ctx.params["stale_replays"])
+        t0 = 2.0 * ctx.spec.events + 10.0
+        for i in range(stales):
+            ctx.emit(t0 + 2.0 * i, "join", member=self._victim(i), site=(3 * i) % n)
+            ctx.emit(t0 + 2.0 * i + 30.0, "leave", member=self._victim(i))
+
+    def build_injections(self, ctx: CompileContext) -> None:
+        stales = int(ctx.params["stale_replays"])
+        duplicates = int(ctx.params["duplicates"])
+        t0 = 2.0 * ctx.spec.events + 10.0
+        # Stale replays fire well after every victim's leave has propagated.
+        for i in range(stales):
+            ctx.emit(t0 + 90.0 + 2.0 * i, "inject_stale", member=self._victim(i))
+        pick = ctx.stream("duplicates")
+        present = [f"ri-{i:04d}" for i in range(ctx.spec.events)]
+        for i in range(duplicates):
+            target = present[int(pick.integers(0, len(present)))]
+            ctx.emit(t0 + 150.0 + 3.0 * i, "inject_duplicate", member=target)
+
+
+register_family(ReplayInjectionFamily())

@@ -41,7 +41,7 @@ import json
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.baselines.driver import (
     PROTOCOL_NAMES,
@@ -63,11 +63,97 @@ from repro.sim.rng import RandomStreams
 from repro.sim.stats import RunRecord
 from repro.workloads.churn import ChurnKind, ChurnWorkload
 from repro.workloads.handoffs import HandoffStorm
+from repro.workloads.spec import FaultScript, ScenarioSpec, compile_spec, schedule_script
 
+#: The original (non-adversarial) matrix scenarios.  Adversarial families
+#: from :mod:`repro.workloads.families` register themselves as additional
+#: scenarios; :func:`scenario_names` lists everything runnable.
 SCENARIOS: Tuple[str, ...] = ("churn", "handoff_storm", "partition_merge", "mobility_trace")
 SIZES: Tuple[int, ...] = (1_000, 10_000, 100_000)
 LOSS_RATES: Tuple[float, ...] = (0.0, 0.01, 0.05)
 PROTOCOLS: Tuple[str, ...] = PROTOCOL_NAMES
+
+
+@dataclass(frozen=True)
+class ScenarioDefinition:
+    """One runnable scenario: how to schedule it on the RGB harness and how
+    to express it as a protocol-neutral op list for the ablation replay.
+
+    ``schedule(harness, cell, events)`` returns the scheduled event count (or
+    ``(count, partition_counts)`` for scenarios that probe partitions);
+    ``ops(cell, events, sites)`` returns :class:`WorkloadOp` records;
+    ``record_sends`` asks the harness to log dispatch sends (replay-injection
+    scenarios).
+    """
+
+    name: str
+    schedule: Callable[[ScenarioHarness, "MatrixCell", int], object]
+    ops: Callable[["MatrixCell", int, Sequence[str]], List["WorkloadOp"]]
+    record_sends: bool = False
+
+
+_SCENARIO_REGISTRY: Dict[str, ScenarioDefinition] = {}
+
+
+def register_scenario(definition: ScenarioDefinition) -> ScenarioDefinition:
+    """Register a scenario; later registrations with the same name win."""
+    _SCENARIO_REGISTRY[definition.name] = definition
+    return definition
+
+
+def _compile_cell_script(cell: "MatrixCell", events: int) -> FaultScript:
+    return compile_spec(
+        ScenarioSpec(
+            family=cell.scenario,
+            num_proxies=cell.num_proxies,
+            loss=cell.loss,
+            seed=cell.seed,
+            events=events,
+        )
+    ).script
+
+
+def _family_definition(name: str, record_sends: bool) -> ScenarioDefinition:
+    """Adapt a declarative scenario family to the matrix registry: compile
+    the cell's spec to a fault script, then either schedule it on the
+    harness or lower it to neutral ops — one code path per direction for
+    *every* family."""
+
+    def schedule(harness: ScenarioHarness, cell: "MatrixCell", events: int) -> int:
+        return schedule_script(harness, _compile_cell_script(cell, events))
+
+    def ops(cell: "MatrixCell", events: int, sites: Sequence[str]) -> List["WorkloadOp"]:
+        return script_to_ops(_compile_cell_script(cell, events), sites)
+
+    return ScenarioDefinition(name=name, schedule=schedule, ops=ops, record_sends=record_sends)
+
+
+def _register_families() -> None:
+    from repro.workloads import spec as spec_mod
+
+    for name in spec_mod.available_families():
+        if name not in _SCENARIO_REGISTRY:
+            register_scenario(
+                _family_definition(name, spec_mod.get_family(name).record_sends)
+            )
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """Every runnable scenario: the legacy four plus registered families."""
+    _register_families()
+    return tuple(sorted(_SCENARIO_REGISTRY))
+
+
+def get_scenario(name: str) -> ScenarioDefinition:
+    if name not in _SCENARIO_REGISTRY:
+        _register_families()
+    try:
+        return _SCENARIO_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r} (available: "
+            f"{', '.join(sorted(_SCENARIO_REGISTRY))})"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -89,8 +175,7 @@ class MatrixCell:
     backend: str = "object"
 
     def __post_init__(self) -> None:
-        if self.scenario not in SCENARIOS:
-            raise ValueError(f"unknown scenario {self.scenario!r} (have {SCENARIOS})")
+        get_scenario(self.scenario)  # raises with the available-scenario list
         if self.protocol not in PROTOCOLS:
             raise ValueError(f"unknown protocol {self.protocol!r} (have {PROTOCOLS})")
         if self.backend not in KERNEL_BACKENDS:
@@ -155,6 +240,7 @@ def _build_harness(
     cell: MatrixCell,
     trace_enabled: bool = False,
     snapshot: Optional[TopologySnapshot] = None,
+    record_sends: bool = False,
 ) -> ScenarioHarness:
     ring_size, height = shape_for_proxies(cell.num_proxies)
     return ScenarioHarness(
@@ -164,6 +250,7 @@ def _build_harness(
             seed=cell.seed,
             loss=cell.loss,
             trace_enabled=trace_enabled,
+            record_sends=record_sends,
             backend=cell.backend,
         ),
         snapshot=snapshot,
@@ -325,12 +412,18 @@ def _schedule_mobility_trace(harness: ScenarioHarness, cell: MatrixCell, events:
 
 @dataclass(frozen=True)
 class WorkloadOp:
-    """One protocol-neutral workload event, replayable through any driver."""
+    """One protocol-neutral workload event, replayable through any driver.
+
+    ``tier`` qualifies ``crash`` ops: 1 crashes the capture site itself,
+    ``t > 1`` crashes its tier-``t`` ancestor (protocols without an internal
+    hierarchy skip those, counted).
+    """
 
     time: float
-    kind: str  # join / leave / handoff / crash
+    kind: str  # join / leave / handoff / crash / inject_duplicate / inject_stale
     member: str = ""
     site: str = ""  # join origin, handoff destination, or crashed site
+    tier: int = 1
 
 
 def _block_neighbor_map(sites: Sequence[str], block: int) -> Dict[str, List[str]]:
@@ -344,6 +437,118 @@ def _block_neighbor_map(sites: Sequence[str], block: int) -> Dict[str, List[str]
     return out
 
 
+def _ops_churn(cell: MatrixCell, events: int, sites: Sequence[str]) -> List[WorkloadOp]:
+    ops: List[WorkloadOp] = []
+    workload = ChurnWorkload(
+        ap_ids=list(sites),
+        join_rate=1.0,
+        leave_rate=0.02,
+        failure_rate=0.01,
+        horizon=max(4.0 * events, 8.0),
+        seed=cell.seed,
+    )
+    for event in workload.generate()[:events]:
+        if event.kind is ChurnKind.JOIN:
+            ops.append(WorkloadOp(event.time, "join", event.member, event.ap))
+        else:
+            # Voluntary leave and member failure both remove the member;
+            # every protocol pays one full removal propagation.
+            ops.append(WorkloadOp(event.time, "leave", event.member))
+    return ops
+
+
+def _ops_handoff_storm(cell: MatrixCell, events: int, sites: Sequence[str]) -> List[WorkloadOp]:
+    ring_size, _ = shape_for_proxies(cell.num_proxies)
+    ops: List[WorkloadOp] = []
+    population = min(max(4, events // 2), len(sites), 64)
+    attachment = {f"hs-{i:04d}": sites[i % len(sites)] for i in range(population)}
+    for index, (member, site) in enumerate(attachment.items()):
+        ops.append(WorkloadOp(0.5 * index, "join", member, site))
+    storm_start = 0.5 * population + 25.0
+    storm = HandoffStorm(
+        attachment=attachment,
+        neighbor_map=_block_neighbor_map(sites, ring_size),
+        handoffs=events,
+        locality=0.8,
+        duration=max(2.0 * events, 10.0),
+        seed=cell.seed,
+    )
+    for event in storm.generate():
+        ops.append(WorkloadOp(storm_start + event.time, "handoff", event.member, event.to_ap))
+    return ops
+
+
+def _ops_partition_merge(cell: MatrixCell, events: int, sites: Sequence[str]) -> List[WorkloadOp]:
+    ops: List[WorkloadOp] = []
+    joins = min(max(4, events), len(sites), 48)
+    for index in range(joins):
+        ops.append(WorkloadOp(0.5 * index, "join", f"pm-{index:04d}", sites[index % len(sites)]))
+    # The toys have no transient-disconnection notion, so the generic
+    # replay crashes two non-adjacent sites of the first block instead —
+    # the same victims the harness path disconnects.
+    victims = [sites[0], sites[2]] if len(sites) >= 4 else [sites[0]]
+    split_at = 0.5 * joins + 40.0
+    for victim in victims:
+        ops.append(WorkloadOp(split_at, "crash", site=victim))
+    spare = [s for s in sites if s not in victims]
+    for index in range(min(8, len(spare))):
+        ops.append(WorkloadOp(split_at + 10.0 + index, "join", f"pm-mid-{index:02d}", spare[index]))
+    return ops
+
+
+def _ops_mobility_trace(cell: MatrixCell, events: int, sites: Sequence[str]) -> List[WorkloadOp]:
+    ring_size, _ = shape_for_proxies(cell.num_proxies)
+    ops: List[WorkloadOp] = []
+    model = MobilityModel(
+        ap_ids=list(sites),
+        streams=RandomStreams(cell.seed),
+        neighbor_map=_block_neighbor_map(sites, ring_size),
+        mean_residency=30.0,
+        mean_session=120.0,
+        stream_name="mobility.matrix",
+    )
+    hosts = max(3, events // 6)
+    trace = model.generate_population(
+        num_hosts=hosts, arrival_rate=0.25, horizon=max(40.0 * hosts, 200.0)
+    )
+    for event in trace.all_events():
+        if isinstance(event, AttachmentEvent):
+            kind = "join" if event.attach else "leave"
+            ops.append(WorkloadOp(event.time, kind, event.host_id, event.ap_id))
+        elif isinstance(event, HandoffEvent):
+            ops.append(WorkloadOp(event.time, "handoff", event.host_id, event.to_ap))
+    return ops
+
+
+def script_to_ops(script: FaultScript, sites: Sequence[str]) -> List[WorkloadOp]:
+    """Lower a compiled fault script to protocol-neutral workload ops.
+
+    Site indices bind to the driver's site list; ``leave`` and ``failure``
+    both lower to a removal (the churn convention); ``disconnect`` lowers to
+    a crash (the partition-merge convention — the toys have no transient
+    disconnections); interior crashes keep their tier for
+    ``fail_internal``-capable drivers.
+    """
+    sites = list(sites)
+    ops: List[WorkloadOp] = []
+    for event in script.events:
+        if event.kind == "join":
+            ops.append(WorkloadOp(event.time, "join", event.member, sites[event.site]))
+        elif event.kind in ("leave", "failure"):
+            ops.append(WorkloadOp(event.time, "leave", event.member))
+        elif event.kind == "handoff":
+            ops.append(WorkloadOp(event.time, "handoff", event.member, sites[event.site]))
+        elif event.kind == "crash":
+            ops.append(WorkloadOp(event.time, "crash", site=sites[event.site], tier=event.tier))
+        elif event.kind == "disconnect":
+            ops.append(WorkloadOp(event.time, "crash", site=sites[event.site]))
+        elif event.kind in ("inject_duplicate", "inject_stale"):
+            ops.append(WorkloadOp(event.time, event.kind, event.member))
+        else:  # pragma: no cover - ScriptEvent validates kinds
+            raise ValueError(f"unknown script event kind {event.kind!r}")
+    return ops
+
+
 def ablation_workload(cell: MatrixCell, events: int, sites: Sequence[str]) -> List[WorkloadOp]:
     """The cell's seeded workload as a time-ordered, protocol-neutral op list.
 
@@ -351,77 +556,22 @@ def ablation_workload(cell: MatrixCell, events: int, sites: Sequence[str]) -> Li
     equally sized site populations replay structurally identical traces (same
     members, same site indices, same times) regardless of site naming.
     """
-    ring_size, _ = shape_for_proxies(cell.num_proxies)
-    ops: List[WorkloadOp] = []
-    if cell.scenario == "churn":
-        workload = ChurnWorkload(
-            ap_ids=list(sites),
-            join_rate=1.0,
-            leave_rate=0.02,
-            failure_rate=0.01,
-            horizon=max(4.0 * events, 8.0),
-            seed=cell.seed,
-        )
-        for event in workload.generate()[:events]:
-            if event.kind is ChurnKind.JOIN:
-                ops.append(WorkloadOp(event.time, "join", event.member, event.ap))
-            else:
-                # Voluntary leave and member failure both remove the member;
-                # every protocol pays one full removal propagation.
-                ops.append(WorkloadOp(event.time, "leave", event.member))
-    elif cell.scenario == "handoff_storm":
-        population = min(max(4, events // 2), len(sites), 64)
-        attachment = {f"hs-{i:04d}": sites[i % len(sites)] for i in range(population)}
-        for index, (member, site) in enumerate(attachment.items()):
-            ops.append(WorkloadOp(0.5 * index, "join", member, site))
-        storm_start = 0.5 * population + 25.0
-        storm = HandoffStorm(
-            attachment=attachment,
-            neighbor_map=_block_neighbor_map(sites, ring_size),
-            handoffs=events,
-            locality=0.8,
-            duration=max(2.0 * events, 10.0),
-            seed=cell.seed,
-        )
-        for event in storm.generate():
-            ops.append(WorkloadOp(storm_start + event.time, "handoff", event.member, event.to_ap))
-    elif cell.scenario == "partition_merge":
-        joins = min(max(4, events), len(sites), 48)
-        for index in range(joins):
-            ops.append(WorkloadOp(0.5 * index, "join", f"pm-{index:04d}", sites[index % len(sites)]))
-        # The toys have no transient-disconnection notion, so the generic
-        # replay crashes two non-adjacent sites of the first block instead —
-        # the same victims the harness path disconnects.
-        victims = [sites[0], sites[2]] if len(sites) >= 4 else [sites[0]]
-        split_at = 0.5 * joins + 40.0
-        for victim in victims:
-            ops.append(WorkloadOp(split_at, "crash", site=victim))
-        spare = [s for s in sites if s not in victims]
-        for index in range(min(8, len(spare))):
-            ops.append(WorkloadOp(split_at + 10.0 + index, "join", f"pm-mid-{index:02d}", spare[index]))
-    elif cell.scenario == "mobility_trace":
-        model = MobilityModel(
-            ap_ids=list(sites),
-            streams=RandomStreams(cell.seed),
-            neighbor_map=_block_neighbor_map(sites, ring_size),
-            mean_residency=30.0,
-            mean_session=120.0,
-            stream_name="mobility.matrix",
-        )
-        hosts = max(3, events // 6)
-        trace = model.generate_population(
-            num_hosts=hosts, arrival_rate=0.25, horizon=max(40.0 * hosts, 200.0)
-        )
-        for event in trace.all_events():
-            if isinstance(event, AttachmentEvent):
-                kind = "join" if event.attach else "leave"
-                ops.append(WorkloadOp(event.time, kind, event.host_id, event.ap_id))
-            elif isinstance(event, HandoffEvent):
-                ops.append(WorkloadOp(event.time, "handoff", event.host_id, event.to_ap))
-    else:  # pragma: no cover - MatrixCell validates scenarios
-        raise ValueError(f"unknown scenario {cell.scenario!r}")
+    ops = get_scenario(cell.scenario).ops(cell, events, list(sites))
     ops.sort(key=lambda op: op.time)
     return ops
+
+
+# The legacy scenarios, registered with their original generators — their
+# harness schedules and op lists are bit-identical to the pre-registry
+# dispatch (pinned by the golden-trace and ablation golden tests).
+register_scenario(ScenarioDefinition("churn", _schedule_churn, _ops_churn))
+register_scenario(ScenarioDefinition("handoff_storm", _schedule_handoff_storm, _ops_handoff_storm))
+register_scenario(
+    ScenarioDefinition("partition_merge", _schedule_partition_merge, _ops_partition_merge)
+)
+register_scenario(
+    ScenarioDefinition("mobility_trace", _schedule_mobility_trace, _ops_mobility_trace)
+)
 
 
 def replay_workload(driver: BaseProtocolDriver, ops: Sequence[WorkloadOp]) -> int:
@@ -435,7 +585,14 @@ def replay_workload(driver: BaseProtocolDriver, ops: Sequence[WorkloadOp]) -> in
         elif op.kind == "handoff":
             report = driver.handoff(op.member, op.site)
         elif op.kind == "crash":
-            report = driver.fail_site(op.site)
+            if op.tier > 1:
+                report = driver.fail_internal(op.site, op.tier)
+            else:
+                report = driver.fail_site(op.site)
+        elif op.kind == "inject_duplicate":
+            report = driver.inject_duplicate(op.member)
+        elif op.kind == "inject_stale":
+            report = driver.inject_stale(op.member)
         else:
             raise ValueError(f"unknown workload op kind {op.kind!r}")
         if report.applied:
@@ -443,19 +600,28 @@ def replay_workload(driver: BaseProtocolDriver, ops: Sequence[WorkloadOp]) -> in
     return applied
 
 
-def run_ablation_cell(cell: MatrixCell, events: int = 24) -> CellResult:
+def run_ablation_cell(
+    cell: MatrixCell, events: int = 24, script: Optional[FaultScript] = None
+) -> CellResult:
     """Replay the cell's workload through its protocol driver (any protocol).
 
     Unlike the harness path, changes apply *sequentially* (each propagates to
     quiescence before the next), so per-change hop/message/round costs are
-    well-defined and directly comparable across protocols.
+    well-defined and directly comparable across protocols.  ``script``
+    replays a recorded fault script instead of regenerating the workload;
+    compiling the cell's spec fresh produces the identical op list, which is
+    what makes recorded scripts replay to bit-identical records.
     """
     if events < 1:
         raise ValueError(f"events must be >= 1, got {events}")
     with _gc_paused():
         build_start = time.perf_counter()
         driver = build_protocol(cell.protocol, cell.num_proxies, loss=cell.loss, seed=cell.seed)
-        ops = ablation_workload(cell, events, driver.sites)
+        if script is not None:
+            ops = script_to_ops(script, driver.sites)
+            ops.sort(key=lambda op: op.time)
+        else:
+            ops = ablation_workload(cell, events, driver.sites)
         # Wall time measures the replay only: construction cost (hierarchy /
         # tree build) would otherwise drown 24 changes at 10k proxies and the
         # column would compare setup, not protocol cost.
@@ -517,6 +683,7 @@ def run_matrix_cell(
     events: int = 24,
     trace_enabled: bool = False,
     snapshot: Optional[TopologySnapshot] = None,
+    script: Optional[FaultScript] = None,
 ) -> CellResult:
     """Run one matrix cell.
 
@@ -524,24 +691,32 @@ def run_matrix_cell(
     semantics); baseline-protocol cells replay the same seeded workload
     through the :class:`repro.baselines.driver.MembershipProtocol` seam.
     With ``snapshot`` the harness rehydrates a pre-built topology instead of
-    rebuilding it; the cell's record is bit-identical either way.
+    rebuilding it; the cell's record is bit-identical either way.  With
+    ``script`` a recorded fault script is replayed instead of regenerating
+    the scenario's workload.
     """
     if cell.protocol != "rgb":
-        return run_ablation_cell(cell, events=events)
+        return run_ablation_cell(cell, events=events, script=script)
     if events < 1:
         raise ValueError(f"events must be >= 1, got {events}")
+    definition = get_scenario(cell.scenario)
     with _gc_paused():
         start = time.perf_counter()
-        harness = _build_harness(cell, trace_enabled=trace_enabled, snapshot=snapshot)
+        harness = _build_harness(
+            cell,
+            trace_enabled=trace_enabled,
+            snapshot=snapshot,
+            record_sends=definition.record_sends,
+        )
         partition_counts: List[int] = []
-        if cell.scenario == "churn":
-            scheduled = _schedule_churn(harness, cell, events)
-        elif cell.scenario == "handoff_storm":
-            scheduled = _schedule_handoff_storm(harness, cell, events)
-        elif cell.scenario == "partition_merge":
-            scheduled, partition_counts = _schedule_partition_merge(harness, cell, events)
+        if script is not None:
+            scheduled = schedule_script(harness, script)
         else:
-            scheduled = _schedule_mobility_trace(harness, cell, events)
+            outcome_sched = definition.schedule(harness, cell, events)
+            if isinstance(outcome_sched, tuple):
+                scheduled, partition_counts = outcome_sched
+            else:
+                scheduled = int(outcome_sched)
         outcome = harness.run()
         wall = time.perf_counter() - start
 
@@ -570,6 +745,30 @@ def run_matrix_cell(
         ring_agreement=outcome.ring_agreement,
         membership=outcome.membership,
     )
+
+
+def replay_script(
+    script: FaultScript, protocol: str = "rgb", backend: str = "object"
+) -> CellResult:
+    """Replay a recorded fault script through any protocol.
+
+    The replay contract: the cell is reconstructed from the script's
+    provenance (the full source spec rides inside), the recorded events are
+    scheduled verbatim — no family RNG stream is touched — and the resulting
+    :class:`repro.sim.stats.RunRecord` is bit-identical to the run that
+    produced the script (``repro.workloads.parallel.record_fingerprint``
+    pins this).
+    """
+    source = ScenarioSpec.from_json(script.provenance["spec"])
+    cell = MatrixCell(
+        scenario=source.family,
+        num_proxies=source.num_proxies,
+        loss=source.loss,
+        seed=source.seed,
+        protocol=protocol,
+        backend=backend,
+    )
+    return run_matrix_cell(cell, events=source.events, script=script)
 
 
 @dataclass
@@ -669,7 +868,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description="Run the RGB scenario matrix")
     parser.add_argument("--sizes", type=int, nargs="+", default=[1_000])
     parser.add_argument("--losses", type=float, nargs="+", default=list(LOSS_RATES))
-    parser.add_argument("--scenarios", nargs="+", default=list(SCENARIOS), choices=SCENARIOS)
+    parser.add_argument(
+        "--scenarios", nargs="+", default=list(SCENARIOS),
+        help=f"scenarios to run (legacy: {', '.join(SCENARIOS)}; "
+        "plus any registered adversarial family — see scenario_names())",
+    )
     parser.add_argument(
         "--protocols", nargs="+", default=["rgb"], choices=PROTOCOLS,
         help="membership protocols to drive through the matrix",

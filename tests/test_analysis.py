@@ -199,3 +199,32 @@ class TestTableRendering:
         assert main(["table1"]) == 0
         captured = capsys.readouterr()
         assert "Table I" in captured.out
+
+
+class TestFamilyHeadToHead:
+    def test_renders_costs_and_flags_membership_disagreement(self):
+        from repro.analysis.tables import render_family_head_to_head
+        from repro.baselines.driver import PROTOCOL_NAMES
+        from repro.workloads.matrix import MatrixCell, run_ablation_cell
+
+        records = [
+            run_ablation_cell(
+                MatrixCell(
+                    scenario="replay_injection",
+                    num_proxies=16,
+                    loss=0.0,
+                    seed=0,
+                    protocol=protocol,
+                ),
+                events=8,
+            ).record
+            for protocol in PROTOCOL_NAMES
+        ]
+        text = render_family_head_to_head(records)
+        assert "replay_injection" in text
+        for protocol in PROTOCOL_NAMES:
+            assert protocol in text
+        # Injections are accounted per protocol and the resurrection
+        # disagreement between RGB and the toys is called out, not hidden.
+        assert "inject" in text
+        assert "membership DISAGREE" in text

@@ -1,0 +1,134 @@
+"""Kernel-seam regression tests for duplicate/stale message replays.
+
+The injection seam (``ScenarioHarness.schedule_injection``) re-transmits a
+*recorded* dispatch notification through the ordinary delivery path, so the
+kernel's per-member sequence watermark is what stands between a retrying
+network and corrupted membership:
+
+* a **duplicate** re-delivers the member's most recent message — its sequence
+  *equals* the applied watermark, so this is precisely the ``<=`` (not ``<``)
+  equality case of the ``stale_for`` check;
+* a **stale replay** re-delivers the member's *first* message — a departed
+  member's original join arriving after its leave circulated, the classic
+  resurrection hazard.
+
+Both must be absorbed identically by the ``object`` and ``columnar`` kernel
+backends, and every injection is counted, never silently dropped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.harness import HarnessConfig, HarnessError, ScenarioHarness
+from repro.workloads.matrix import MatrixCell, run_matrix_cell
+from repro.workloads.parallel import result_fingerprint
+
+BACKENDS = ("object", "columnar")
+
+
+def _harness(backend: str, record_sends: bool = True) -> ScenarioHarness:
+    return ScenarioHarness(
+        HarnessConfig(
+            ring_size=4, height=2, seed=0, backend=backend, record_sends=record_sends
+        )
+    )
+
+
+def _populate(harness: ScenarioHarness, count: int = 6) -> None:
+    aps = harness.access_proxies()
+    for i in range(count):
+        harness.schedule_join(1.0 * i, aps[i % len(aps)], guid=f"m-{i:02d}")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestInjectionSeam:
+    def test_duplicate_of_latest_message_is_absorbed(self, backend):
+        harness = _harness(backend)
+        _populate(harness)
+        harness.run()
+        before = set(harness.global_guids())
+        harness.schedule_injection(50.0, "duplicate", "m-03")
+        outcome = harness.run()
+        assert set(harness.global_guids()) == before
+        assert outcome.converged and outcome.ring_agreement
+        counters = harness.counter_values()
+        assert counters.get("harness.injections_duplicate", 0) == 1
+        assert counters.get("harness.injections_skipped", 0) == 0
+
+    def test_stale_join_replay_does_not_resurrect(self, backend):
+        harness = _harness(backend)
+        _populate(harness)
+        harness.schedule_leave(20.0, "m-02")
+        harness.run()
+        assert "m-02" not in set(harness.global_guids())
+        # Re-deliver m-02's *first* recorded message: its original join.
+        harness.schedule_injection(60.0, "stale", "m-02")
+        outcome = harness.run()
+        assert "m-02" not in set(harness.global_guids()), "stale join resurrected"
+        assert outcome.converged and outcome.ring_agreement
+        assert harness.counter_values().get("harness.injections_stale", 0) == 1
+
+    def test_unrecorded_member_is_counted_not_dropped(self, backend):
+        harness = _harness(backend)
+        _populate(harness)
+        harness.schedule_injection(30.0, "duplicate", "ghost-member")
+        harness.run()
+        assert harness.counter_values().get("harness.injections_skipped", 0) == 1
+
+    def test_backends_agree_on_injection_outcome(self, backend):
+        """Either backend ends with the identical membership and counters."""
+        results = {}
+        for b in BACKENDS:
+            harness = _harness(b)
+            _populate(harness)
+            harness.schedule_leave(20.0, "m-01")
+            harness.schedule_injection(60.0, "stale", "m-01")
+            harness.schedule_injection(65.0, "duplicate", "m-04")
+            harness.run()
+            counters = harness.counter_values()
+            results[b] = (
+                tuple(sorted(harness.global_guids())),
+                counters.get("harness.injections_stale", 0),
+                counters.get("harness.injections_duplicate", 0),
+            )
+        assert results["object"] == results[backend]
+
+
+class TestInjectionSeamErrors:
+    def test_requires_record_sends(self):
+        harness = _harness("object", record_sends=False)
+        with pytest.raises(HarnessError, match="record_sends"):
+            harness.schedule_injection(1.0, "duplicate", "m-00")
+
+    def test_unknown_kind(self):
+        harness = _harness("object")
+        with pytest.raises(HarnessError, match="injection kind"):
+            harness.schedule_injection(1.0, "mangle", "m-00")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_replay_injection_family_through_harness(backend):
+    """The full family drives the seam end-to-end on both backends."""
+    cell = MatrixCell(
+        scenario="replay_injection", num_proxies=16, loss=0.0, seed=0, backend=backend
+    )
+    result = run_matrix_cell(cell, events=12)
+    assert result.converged and result.ring_agreement
+    counters = result.record.counters
+    assert counters.get("harness.injections_stale", 0) == 4
+    assert counters.get("harness.injections_duplicate", 0) == 4
+    # The stale victims joined and left before their joins were replayed:
+    # none may be resurrected, so only the 12 steady members remain.
+    assert result.membership == 12
+
+
+def test_replay_injection_family_backend_fingerprints_are_stable():
+    """Same cell, same backend, twice: bit-identical record fingerprints."""
+    for backend in BACKENDS:
+        cell = MatrixCell(
+            scenario="replay_injection", num_proxies=16, loss=0.0, seed=0, backend=backend
+        )
+        a = result_fingerprint(run_matrix_cell(cell, events=12))
+        b = result_fingerprint(run_matrix_cell(cell, events=12))
+        assert a == b

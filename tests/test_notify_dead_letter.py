@@ -155,6 +155,33 @@ def test_round_retry_hook_reinjects_after_real_repair():
     assert harness.counter_values().get("harness.notify_reinjected", 0) == 1
 
 
+def test_adjacent_failures_salvage_to_surviving_detector():
+    """Two failures adjacent in ring order must not orphan the second's MQ.
+
+    The probe round repairs failures in visiting order; the detector for a
+    failed member used to be its ring-order predecessor — which, when two
+    failures sit next to each other, is the *other* failed member, so the
+    salvage found a dead heir and orphaned the queued operations (dropping
+    the member they carried).  The detector is now the last surviving node
+    the token visited.
+    """
+    harness = ScenarioHarness(
+        HarnessConfig(ring_size=3, height=3, seed=0, loss=0.0, latency_std=0.0)
+    )
+    # prop's join notification lands in L2-0001-0000's MQ (the parent AG of
+    # ring-T1-0003) at t=4; the AG crashes at t=5 with the op undrained, and
+    # its ring-order predecessor L2-0001-0002 is already dead — the t=6
+    # probe round must salvage the queue to the surviving L2-0001-0001.
+    harness.schedule_join(1.0, "L1-0003-0000", guid="prop-adjacent")
+    harness.schedule_crash(1.0, "L2-0001-0002")
+    harness.schedule_crash(5.0, "L2-0001-0000")
+    harness.run()
+    counters = harness.counter_values()
+    assert counters.get("repairs.mq_orphaned", 0) == 0
+    assert counters.get("repairs.mq_salvaged", 0) >= 1
+    assert harness.global_guids() == ["prop-adjacent"]
+
+
 # ---------------------------------------------------------------------------
 # property: no operation is ever dropped under crash + re-route races
 # ---------------------------------------------------------------------------
