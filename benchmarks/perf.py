@@ -292,9 +292,88 @@ def _bench_matrix_1k_columnar() -> Tuple[float, Dict[str, float]]:
     return elapsed, {"dispatched_events": float(result.dispatched_events)}
 
 
+def _serving_extras(result: Dict[str, object], prefix: str = "") -> Dict[str, float]:
+    """Flatten a serving-cell result into bench extras (qps, tails, cache)."""
+    extras: Dict[str, float] = {
+        f"{prefix}qps": float(result["overall_qps"]),
+        f"{prefix}queries": float(result["total_queries"]),
+    }
+    for name, stats in result["schemes"].items():  # type: ignore[union-attr]
+        key = name.lower()
+        extras[f"{prefix}{key}_qps"] = float(stats["qps"])
+        extras[f"{prefix}{key}_p50_ms"] = float(stats["p50_ms"])
+        extras[f"{prefix}{key}_p99_ms"] = float(stats["p99_ms"])
+    snapshots = result.get("snapshots")
+    if snapshots:
+        extras[f"{prefix}snapshot_captures"] = float(snapshots["captures"])
+        extras[f"{prefix}snapshot_hits"] = float(snapshots["hits"])
+        extras[f"{prefix}snapshot_invalidations"] = float(snapshots["invalidations"])
+    return extras
+
+
+@bench("serving_queries_1k", SMALL)
+def _bench_serving_1k() -> Tuple[float, Dict[str, float]]:
+    """Batched serving over the 1k-proxy churn cell (columnar backend).
+
+    The primary metric is total query wall time (the latency-under-churn
+    measurement); qps and per-scheme p50/p99 plus the snapshot cache
+    counters ride along as extras.
+    """
+    from repro.workloads.query_load import QueryLoadConfig, run_serving_cell
+
+    result = run_serving_cell(
+        num_proxies=1_000,
+        mode="batched",
+        backend="columnar",
+        events=16,
+        config=QueryLoadConfig(mode="batched", batch_size=48, batches=24, interval=1.0),
+    )
+    extras = _serving_extras(result)
+    extras["build_seconds"] = float(result["build_seconds"])
+    return float(result["total_query_seconds"]), extras
+
+
 # ----------------------------------------------------------------------
 # full tier: the headline macro benches
 # ----------------------------------------------------------------------
+
+
+@bench("serving_churn_100k", FULL, repeats=1)
+def _bench_serving_100k() -> Tuple[float, Dict[str, float]]:
+    """Queries under churn at 100k proxies: batched columnar vs object path.
+
+    Runs the same seeded churn cell twice — once served by the batched
+    columnar front-end, once by the per-query object reference — and
+    reports the throughput ratio as ``speedup_vs_object`` (the PR's
+    acceptance bar is >= 10x).  The object pass issues far fewer queries
+    (qps comes from per-query latencies, not query count), which is what
+    keeps a per-query BMS fan-out over 10k rings affordable at all.
+    """
+    from repro.workloads.query_load import QueryLoadConfig, run_serving_cell
+
+    batched = run_serving_cell(
+        num_proxies=100_000,
+        mode="batched",
+        backend="columnar",
+        events=24,
+        config=QueryLoadConfig(mode="batched", batch_size=24, batches=8, interval=2.0),
+    )
+    reference = run_serving_cell(
+        num_proxies=100_000,
+        mode="object",
+        backend="object",
+        events=24,
+        config=QueryLoadConfig(mode="object", batch_size=6, batches=2, interval=2.0),
+    )
+    extras = _serving_extras(batched)
+    extras.update(_serving_extras(reference, prefix="object_"))
+    extras["build_seconds"] = float(batched["build_seconds"]) + float(
+        reference["build_seconds"]
+    )
+    object_qps = float(reference["overall_qps"])
+    if object_qps > 0:
+        extras["speedup_vs_object"] = float(batched["overall_qps"]) / object_qps
+    return float(batched["total_query_seconds"]), extras
 
 
 @bench("matrix_churn_10k", FULL)
@@ -525,6 +604,21 @@ def check_against_baseline(
                     f"{result.name}: peak RSS {result.peak_rss_mb:.1f}MB exceeds band "
                     f"{rss_band}MB x {band.get('rss_tolerance', 1.5)} = {rss_limit:.1f}MB"
                 )
+        # Acceptance floors on extras (e.g. the serving layer's 10x
+        # speedup-vs-object bar): unlike the bands above these are absolute
+        # minima, not re-pinned by --update-baseline.
+        for extra_key, floor in band.get("extra_min", {}).items():
+            measured = result.extra.get(extra_key)
+            if measured is None:
+                violations.append(
+                    f"{result.name}: extra {extra_key!r} not reported "
+                    f"(floor {floor} required)"
+                )
+            elif float(measured) < float(floor):
+                violations.append(
+                    f"{result.name}: {extra_key} {float(measured):.2f} below "
+                    f"required floor {floor}"
+                )
     return violations
 
 
@@ -545,6 +639,10 @@ def speedup_summary(
             summary["large_scale_1m_speedup_vs_object"] = round(
                 float(object_1m) / result.seconds, 2
             )
+        if result.name == "serving_churn_100k":
+            speedup = result.extra.get("speedup_vs_object")
+            if speedup:
+                summary["serving_100k_speedup_vs_object"] = round(float(speedup), 2)
     return summary
 
 
@@ -623,6 +721,10 @@ def update_baseline(
             # run), not "no memory": preserve the existing memory band.
             band["peak_rss_mb"] = previous["peak_rss_mb"]
             band["rss_tolerance"] = previous.get("rss_tolerance", 1.5)
+        if "extra_min" in previous:
+            # Acceptance floors are absolute bars, not measurements — carry
+            # them over untouched rather than re-pinning (or dropping) them.
+            band["extra_min"] = previous["extra_min"]
         bands[result.name] = band
     baseline = dict(baseline)
     baseline["benches"] = bands

@@ -17,6 +17,12 @@ flat ring, gossip, tree) and archives the head-to-head per-change costs —
 hops, on-the-wire messages, convergence rounds, wall time — in
 ``BENCH_ablation.json``, alongside the paper's closed-form HCN values.
 
+With ``--serving``, runs the queries-under-churn serving benchmark: the
+same seeded churn cell served once by the batched epoch-consistent
+front-end (:mod:`repro.serving`) and once by the per-query object path,
+archiving per-scheme qps / p50 / p99 and the snapshot cache counters in
+``BENCH_serving.json``.
+
 With ``--perf``, runs the named perf-bench tier (``benchmarks/perf.py``)
 through this entry point, including bench-name filtering (``--only``) and
 baseline re-pinning (``--update-baseline``) — so a single bench can be
@@ -30,6 +36,7 @@ Usage::
     PYTHONPATH=src python benchmarks/run_bench.py --ablation [--ablation-sizes 1000 10000]
     PYTHONPATH=src python benchmarks/run_bench.py --ablation \\
         --ablation-scenarios churn correlated_failure --ablation-sizes 64
+    PYTHONPATH=src python benchmarks/run_bench.py --serving [--serving-sizes 1000 10000]
     PYTHONPATH=src python benchmarks/run_bench.py --perf --perf-tier small
     PYTHONPATH=src python benchmarks/run_bench.py --perf --only large_scale_1m --update-baseline
 """
@@ -116,6 +123,67 @@ def run_matrix(sizes, events, out_path: Path, jobs: int = 1, scenarios=None) -> 
             )
             for r in results
         ],
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+
+def run_serving(sizes, events, out_path: Path) -> None:
+    """Queries-under-churn: batched serving vs the per-query object path.
+
+    For every size, runs the seeded churn cell twice — served by the
+    batched columnar front-end and by the per-query object reference — and
+    archives per-scheme qps / p50 / p99 plus the snapshot cache counters in
+    ``BENCH_serving.json``.  The object pass issues fewer queries (qps is
+    computed from per-query latencies, so counts don't skew it); sizes at
+    and above 10k keep the per-query BMS fan-out affordable that way.
+    """
+    from repro.analysis.tables import render_serving
+    from repro.workloads.query_load import QueryLoadConfig, run_serving_cell
+
+    rows = []
+    for size in sizes:
+        for mode, backend, load in (
+            (
+                "batched",
+                "columnar",
+                QueryLoadConfig(mode="batched", batch_size=24, batches=8, interval=2.0),
+            ),
+            (
+                "object",
+                "object",
+                QueryLoadConfig(mode="object", batch_size=6, batches=2, interval=2.0),
+            ),
+        ):
+            result = run_serving_cell(
+                num_proxies=size, mode=mode, backend=backend, events=events, config=load
+            )
+            rows.append(result)
+            print(
+                f"n={size:>7} [{mode:>7}]: {result['overall_qps']:10.1f} qps over "
+                f"{result['total_queries']} queries",
+                flush=True,
+            )
+    print()
+    print(render_serving(rows))
+    pairs = {}
+    for row in rows:
+        pairs.setdefault(row["num_proxies"], {})[row["mode"]] = row["overall_qps"]
+    speedups = {
+        str(size): round(modes["batched"] / modes["object"], 2)
+        for size, modes in sorted(pairs.items())
+        if modes.get("object") and "batched" in modes
+    }
+    for size, speedup in speedups.items():
+        print(f"n={size}: batched serving {speedup}x object path")
+    payload = {
+        "benchmark": "membership queries under churn (serving layer vs object path)",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "sizes": list(sizes),
+        "events_per_cell": events,
+        "speedup_batched_vs_object": speedups,
+        "cells": rows,
     }
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out_path}")
@@ -268,6 +336,31 @@ def main(argv=None) -> int:
         "(cell results are bit-identical to --jobs 1)",
     )
     parser.add_argument(
+        "--serving",
+        action="store_true",
+        help="run the queries-under-churn serving benchmark (batched "
+        "front-end vs per-query object path) instead of the kernel benchmark",
+    )
+    parser.add_argument(
+        "--serving-sizes",
+        type=int,
+        nargs="+",
+        default=[1_000],
+        help="proxy counts for the serving benchmark (1000 / 10000 / 100000)",
+    )
+    parser.add_argument(
+        "--serving-events",
+        type=int,
+        default=24,
+        help="churn events interleaved with query batches per serving cell",
+    )
+    parser.add_argument(
+        "--serving-out",
+        type=Path,
+        default=Path(__file__).resolve().parent / "BENCH_serving.json",
+        help="serving output JSON path",
+    )
+    parser.add_argument(
         "--perf",
         action="store_true",
         help="run the named perf-bench tier (benchmarks/perf.py) instead of "
@@ -302,8 +395,10 @@ def main(argv=None) -> int:
         parser.error("--only/--update-baseline require --perf")
     if args.family and not args.matrix:
         parser.error("--family requires --matrix")
-    if args.perf and (args.matrix or args.ablation):
-        parser.error("--perf cannot be combined with --matrix/--ablation")
+    if args.perf and (args.matrix or args.ablation or args.serving):
+        parser.error("--perf cannot be combined with --matrix/--ablation/--serving")
+    if args.serving and (args.matrix or args.ablation):
+        parser.error("--serving cannot be combined with --matrix/--ablation")
 
     if args.perf:
         # Delegate to benchmarks/perf.py in-process (same directory).
@@ -316,6 +411,10 @@ def main(argv=None) -> int:
         if args.update_baseline:
             perf_argv.append("--update-baseline")
         return perf.main(perf_argv)
+
+    if args.serving:
+        run_serving(args.serving_sizes, args.serving_events, args.serving_out)
+        return 0
 
     if args.matrix:
         run_matrix(

@@ -166,6 +166,37 @@ def render_family_head_to_head(records: Sequence["RunRecord"]) -> str:
     return "\n".join(lines)
 
 
+def render_serving(cells: Sequence[Dict]) -> str:
+    """Queries-under-churn table from serving-cell result dicts.
+
+    Consumes the dicts emitted by
+    :func:`repro.workloads.query_load.run_serving_cell` (one per
+    size × serving mode) and renders per-scheme throughput and tail
+    latency plus the snapshot cache health of the batched mode — the
+    README/PERF trajectory table for the serving layer.
+    """
+    lines = [
+        "Membership queries under churn (batched serving layer vs per-query object path)",
+        f"{'proxies':>8} {'mode':>8} {'scheme':>7} {'queries':>8} {'qps':>11} "
+        f"{'p50 ms':>8} {'p99 ms':>8} {'snap c/h/i':>12}",
+    ]
+    for cell in cells:
+        snapshots = cell.get("snapshots")
+        snap_text = (
+            f"{snapshots['captures']}/{snapshots['hits']}/{snapshots['invalidations']}"
+            if snapshots
+            else "-"
+        )
+        for index, (name, stats) in enumerate(cell["schemes"].items()):
+            lines.append(
+                f"{int(cell['num_proxies']):>8} {str(cell['mode']):>8} {name:>7} "
+                f"{int(stats['queries']):>8} {stats['qps']:>11.1f} "
+                f"{stats['p50_ms']:>8.3f} {stats['p99_ms']:>8.3f} "
+                f"{snap_text if index == 0 else '':>12}"
+            )
+    return "\n".join(lines)
+
+
 def render_ablation(records: Sequence["RunRecord"]) -> str:
     """Head-to-head protocol ablation table, plus the Section 5.1 closed forms.
 

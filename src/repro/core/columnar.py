@@ -369,6 +369,32 @@ class ColumnarStore:
             return frozenset()
         return frozenset(np.concatenate(levels).tolist())
 
+    def tier_ring_indices(self, tier: int) -> np.ndarray:
+        """Store-order indices of every ring in ``tier`` (vectorised).
+
+        Store order follows hierarchy iteration order, which for regular
+        hierarchies is also lexicographic ring-id order — the same fan-out
+        order the object query path derives from ``rings_in_tier``.  Only
+        valid while ``structure_dirty`` is False; the serving layer gates on
+        that before trusting the structural columns.
+        """
+        return np.nonzero(self.ring_tier == tier)[0]
+
+    def tier_leader_rows(self, tier: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(ring indices, dense leader rows) for every led ring of ``tier``.
+
+        The snapshot export hook for the serving layer: one boolean sweep
+        over the structural columns yields the leader row of every ring in
+        the tier (rings without a leader are dropped), so a fan-out query
+        can gather all leader views without touching ring objects.
+        """
+        rings = self.tier_ring_indices(tier)
+        leader_pos = self.ring_leader_pos[rings]
+        led = leader_pos >= 0
+        rings = rings[led]
+        rows = self.ring_start[rings] + leader_pos[led]
+        return rings, rows
+
     def dead_ring_count(self) -> int:
         """Rings with at least one failed member (diagnostics)."""
         return sum(1 for dead in self.ring_dead if dead)
@@ -451,6 +477,44 @@ class ColumnarKernel(TokenRoundKernel):
         # Direct (synchronous, receiver-effect-free) dispatch lets the fast
         # path inline notification delivery and skip no-op ack callbacks.
         self._direct_dispatch = type(self.dispatch) is DirectDispatch
+
+    @property
+    def store(self) -> ColumnarStore:
+        """The columnar struct-of-arrays store (read-only structural view).
+
+        The snapshot export hook for the serving layer: consumers must gate
+        on ``store.structure_dirty`` before trusting the structural columns.
+        """
+        return self._store
+
+    def tier_leader_views(self, tier: int):
+        """Per-ring ``(ring, leader entity)`` pairs for ``tier``, ring-id order.
+
+        The serving layer's leader-row gather: ring selection and leader
+        rows come from one vectorised sweep over the structural columns
+        (:meth:`ColumnarStore.tier_leader_rows`) and each leader entity is
+        reached positionally through the dense per-ring rows — no rings-dict
+        scan, no identifier-keyed entity probes.  Returns ``None`` whenever
+        the columns cannot be trusted (hierarchy surgery happened, or a ring
+        row fell back to object alignment); callers must then derive the
+        fan-out from the hierarchy itself.
+        """
+        store = self._store
+        if store.structure_dirty:
+            return None
+        rings_idx, rows = store.tier_leader_rows(tier)
+        ring_objs = self._ring_objs
+        entity_rows = self._ring_rows
+        ring_ids = store.ring_ids
+        ring_start = store.ring_start_i
+        out = []
+        for r, row in zip(rings_idx.tolist(), rows.tolist()):
+            entities = entity_rows[r]
+            if entities is None:
+                return None
+            out.append((ring_ids[r], ring_objs[r], entities[row - ring_start[r]]))
+        out.sort(key=lambda item: item[0])
+        return [(ring, entity) for _, ring, entity in out]
 
     def _build_entity_rows(self) -> List[Optional[List[NetworkEntityState]]]:
         """Dense per-ring entity rows aligned with circulation order.

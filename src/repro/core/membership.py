@@ -141,6 +141,16 @@ class MembershipView:
         ap_value = ap.value if isinstance(ap, NodeId) else str(ap)
         return [m for m in self.members() if m.ap.value == ap_value]
 
+    def raw_records(self) -> Dict[str, MemberInfo]:
+        """The internal GUID-keyed record map — treat as read-only.
+
+        The serving layer's capture hook: a snapshot frame merges leader
+        views with one C-level ``dict.update`` per view instead of sorting
+        each view through :meth:`members`.  Callers must copy before
+        mutating; records themselves are immutable.
+        """
+        return self._members
+
     # -- write side -------------------------------------------------------------
 
     def add(self, member: MemberInfo) -> bool:

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol, Sequence
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.core.hierarchy import RingHierarchy
 from repro.core.identifiers import NodeId, coerce_node
@@ -58,10 +58,27 @@ class QueryResult:
     message_hops: int
     entities_contacted: List[NodeId] = field(default_factory=list)
     answered_by_tier: Optional[int] = None
+    _guids: Optional[List[str]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def guids(self) -> List[str]:
-        return sorted(str(m.guid) for m in self.members)
+        """Sorted member GUID strings, computed once and cached.
+
+        The member list is never mutated after the result is assembled, so
+        the sort/stringify pass only needs to run on first access — a load
+        harness draining thousands of results per batch must not pay it per
+        touch (use :attr:`member_count` when only the size matters).
+        """
+        if self._guids is None:
+            self._guids = sorted(str(m.guid) for m in self.members)
+        return self._guids
+
+    @property
+    def member_count(self) -> int:
+        """Size of the answer without materialising :attr:`guids`."""
+        return len(self.members)
 
     def __len__(self) -> int:
         return len(self.members)
@@ -92,16 +109,67 @@ class MembershipQueryService:
             self.entry_point = coerce_node(entry_point)
             if not self.hierarchy.has_node(self.entry_point):
                 raise ValueError(f"entry point {entry_point} is not part of the hierarchy")
+        # Routing memo, keyed per topology epoch: deriving the per-tier leader
+        # fan-out set walks (and sorts) every ring of the tier, and the entry
+        # point's tier costs a ring probe — pure re-derivation on every query
+        # until a repair actually changes the hierarchy.  ``coverage_epoch``
+        # (bumped by every repair/surgery) is the invalidation signal; stores
+        # without one (no kernel underneath) keep the uncached behaviour.
+        self._routing_epoch: Optional[int] = None
+        self._tier_leaders_cache: Dict[int, List[NodeId]] = {}
+        self._entry_tier_cache: Optional[int] = None
+        self._top_cache: Optional[Tuple[NodeId, int]] = None
 
     # -- helpers -----------------------------------------------------------------
 
     def _view_of(self, node: NodeId) -> MembershipView:
         return self.store.entity(node).ring_members
 
+    def _topology_epoch(self) -> Optional[int]:
+        """The store's repair/surgery epoch, or None when it has none."""
+        epoch = getattr(self.store, "coverage_epoch", None)
+        if epoch is None:
+            epoch = getattr(getattr(self.store, "kernel", None), "coverage_epoch", None)
+        return epoch
+
+    def _routing_generation(self) -> Optional[int]:
+        """Validate (and roll) the memo against the current topology epoch."""
+        epoch = self._topology_epoch()
+        if epoch is None or epoch != self._routing_epoch:
+            self._tier_leaders_cache.clear()
+            self._entry_tier_cache = None
+            self._top_cache = None
+            self._routing_epoch = epoch
+        return epoch
+
+    def tier_leaders(self, tier: int) -> List[NodeId]:
+        """Ring leaders of ``tier`` in ring-id order (the fan-out targets).
+
+        Memoised per topology epoch: a repaired ring re-elects its leader
+        through hierarchy surgery, which bumps the store's coverage epoch and
+        drops the memo — the next query re-routes to the new leader.
+        """
+        epoch = self._routing_generation()
+        leaders = self._tier_leaders_cache.get(tier)
+        if leaders is None:
+            leaders = [
+                ring.leader
+                for ring in self.hierarchy.rings_in_tier(tier)
+                if ring.leader is not None
+            ]
+            if epoch is not None:
+                self._tier_leaders_cache[tier] = leaders
+        return leaders
+
+    def _entry_tier(self) -> int:
+        self._routing_generation()
+        if self._entry_tier_cache is None:
+            self._entry_tier_cache = self.hierarchy.ring_of(self.entry_point).tier
+        return self._entry_tier_cache
+
     def _hops_to_tier(self, tier: int) -> int:
         """Message hops from the entry point up (or down) to ``tier``."""
-        entry_tier = self.hierarchy.ring_of(self.entry_point).tier
-        return abs(tier - entry_tier)
+        return abs(tier - self._entry_tier())
 
     # -- the three schemes -------------------------------------------------------------
 
@@ -115,27 +183,31 @@ class MembershipQueryService:
 
     def query_topmost(self) -> QueryResult:
         """TMS: ask the topmost ring leader for the global view."""
-        top_ring = self.hierarchy.topmost_ring()
-        leader = top_ring.leader
-        if leader is None:
-            raise RuntimeError("topmost ring has no leader")
+        epoch = self._routing_generation()
+        if self._top_cache is None:
+            top_ring = self.hierarchy.topmost_ring()
+            if top_ring.leader is None:
+                raise RuntimeError("topmost ring has no leader")
+            if epoch is not None:
+                self._top_cache = (top_ring.leader, top_ring.tier)
+            leader, top_tier = top_ring.leader, top_ring.tier
+        else:
+            leader, top_tier = self._top_cache
         # Request travels up the hierarchy to the topmost tier, answer comes back.
-        hops = 2 * self._hops_to_tier(top_ring.tier)
+        hops = 2 * self._hops_to_tier(top_tier)
         members = list(self._view_of(leader).members())
         return QueryResult(
             scheme=MembershipScheme.TMS,
             members=members,
             message_hops=hops if hops > 0 else 2,
             entities_contacted=[leader],
-            answered_by_tier=top_ring.tier,
+            answered_by_tier=top_tier,
         )
 
     def query_bottommost(self) -> QueryResult:
         """BMS: fan out to every bottommost ring leader and merge the answers."""
         bottom = self.hierarchy.bottom_tier()
-        leaders = [
-            ring.leader for ring in self.hierarchy.rings_in_tier(bottom) if ring.leader is not None
-        ]
+        leaders = self.tier_leaders(bottom)
         merged = MembershipView("query", self.entry_point, self.hierarchy.group)
         contacted: List[NodeId] = []
         hops = 0
@@ -162,9 +234,7 @@ class MembershipQueryService:
             tier = tiers[len(tiers) // 2]
         if tier not in tiers:
             raise ValueError(f"tier {tier} does not exist in this hierarchy (tiers: {tiers})")
-        leaders = [
-            ring.leader for ring in self.hierarchy.rings_in_tier(tier) if ring.leader is not None
-        ]
+        leaders = self.tier_leaders(tier)
         merged = MembershipView("query", self.entry_point, self.hierarchy.group)
         contacted: List[NodeId] = []
         hops = 0

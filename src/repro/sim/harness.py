@@ -34,7 +34,7 @@ from __future__ import annotations
 import itertools
 import pickle
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.config import ProtocolConfig
 from repro.core.events import MembershipEventBus
@@ -506,6 +506,10 @@ class ScenarioHarness:
         # and re-offered whenever a repair re-shapes the hierarchy.
         self._dead_letters: List[_PendingNotification] = []
         self._dead_letter_epoch = self.kernel.coverage_epoch
+        # Round-commit listeners (the serving layer's interleave seam):
+        # called after every kernel round with (ring_id, sim_now), i.e. at
+        # the exact point where membership views may have changed.
+        self._round_listeners: List[Callable[[str, float], None]] = []
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -882,6 +886,36 @@ class ScenarioHarness:
     # round scheduling
     # ------------------------------------------------------------------
 
+    def add_round_listener(self, listener: Callable[[str, float], None]) -> None:
+        """Register a callback fired after every committed kernel round.
+
+        The serving layer hangs its snapshot-invalidation probe here: rounds
+        are the only points where membership views change, so a listener
+        firing at each commit brackets every torn-read window.
+        """
+        self._round_listeners.append(listener)
+
+    def schedule_call(self, time: float, fn: Callable[[], None], label: str = "call") -> None:
+        """Schedule an arbitrary callback at an absolute sim time.
+
+        The query-interleave seam: a load generator schedules its query
+        batches between the churn events already on the wheel, so reads and
+        writes share one simulated clock.
+        """
+        self.engine.schedule_at(time, lambda _e: fn(), label=label)
+
+    def serving_frontend(self, intermediate_tier: Optional[int] = None):
+        """A :class:`repro.serving.frontend.ServingFrontend` over this harness.
+
+        Convenience wiring: the frontend subscribes to round commits for
+        snapshot invalidation and routes per-scheme queries against the
+        kernel (columnar sweeps when the backend supports them, object walk
+        otherwise).  Imported lazily to keep the sim layer import-light.
+        """
+        from repro.serving.frontend import ServingFrontend
+
+        return ServingFrontend(self, intermediate_tier=intermediate_tier)
+
     def _schedule_round(self, ring_id: str, delay: Optional[float] = None) -> None:
         if ring_id in self._round_scheduled:
             return
@@ -915,6 +949,8 @@ class ScenarioHarness:
             return
         kernel.run_round(ring_id, now=self.engine.now)
         self._c_rounds.increment()
+        for listener in self._round_listeners:
+            listener(ring_id, self.engine.now)
         # A round may have run repair surgery; give dead-lettered
         # notifications a chance to find their re-attached fallback.
         self._retry_dead_letters()

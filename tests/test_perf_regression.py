@@ -94,6 +94,39 @@ def test_band_check_flags_slow_benches(perf):
     assert "matrix_churn_1k" in violations[0]
 
 
+def test_extra_min_floor_flags_shortfall_and_missing_extra(perf):
+    baseline = {
+        "benches": {"z": {"seconds": 1.0, "tolerance": 100.0, "extra_min": {"speedup": 10.0}}}
+    }
+    slow = perf.BenchResult(
+        name="z", tier="full", seconds=0.5, repeats=1, extra={"speedup": 4.2}
+    )
+    violations = perf.check_against_baseline([slow], baseline)
+    assert len(violations) == 1 and "below required floor" in violations[0]
+    missing = perf.BenchResult(name="z", tier="full", seconds=0.5, repeats=1)
+    violations = perf.check_against_baseline([missing], baseline)
+    assert len(violations) == 1 and "not reported" in violations[0]
+    ok = perf.BenchResult(
+        name="z", tier="full", seconds=0.5, repeats=1, extra={"speedup": 12.0}
+    )
+    assert perf.check_against_baseline([ok], baseline) == []
+
+
+def test_update_baseline_preserves_extra_min_floors(perf, tmp_path):
+    """Floors are absolute acceptance bars — a re-pin must not drop them."""
+    path = tmp_path / "perf_baseline.json"
+    path.write_text(
+        json.dumps(
+            {"benches": {"z": {"seconds": 1.0, "tolerance": 5.0, "extra_min": {"speedup": 10.0}}}}
+        )
+    )
+    results = [perf.BenchResult(name="z", tier="full", seconds=0.25, repeats=1)]
+    perf.update_baseline(results, json.loads(path.read_text()), path=path)
+    updated = json.loads(path.read_text())["benches"]["z"]
+    assert updated["seconds"] == 0.25
+    assert updated["extra_min"] == {"speedup": 10.0}
+
+
 def test_update_baseline_repins_bands(perf, tmp_path):
     path = tmp_path / "perf_baseline.json"
     path.write_text(json.dumps({"benches": {"x": {"seconds": 1.0, "tolerance": 2.5}}}))
